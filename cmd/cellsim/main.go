@@ -1,0 +1,149 @@
+// Command cellsim is a real-time, trace-driven UDP network emulator — the
+// live counterpart of the paper's Cellsim (§4.2). It relays datagrams
+// between two UDP endpoints, shaping each direction with a cellular trace:
+// packets are delayed by the propagation delay, queued, and released only
+// at the trace's delivery opportunities (per-byte accounting), with
+// optional Bernoulli loss and CoDel queue management.
+//
+// Each endpoint sends its first datagram to one of cellsim's two ports to
+// register; thereafter everything arriving on port A is shaped by the
+// downlink trace and forwarded to the endpoint on port B, and vice versa.
+//
+// Usage:
+//
+//	cellsim -a :9001 -b :9002 -down vzw-down.trace -up vzw-up.trace
+//	cellsim -a :9001 -b :9002 -gen Verizon-LTE -loss 0.05 -codel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"sprout/internal/codel"
+	"sprout/internal/link"
+	"sprout/internal/network"
+	"sprout/internal/realtime"
+	"sprout/internal/trace"
+	"sprout/internal/udp"
+)
+
+func main() {
+	addrA := flag.String("a", ":9001", "UDP listen address for side A")
+	addrB := flag.String("b", ":9002", "UDP listen address for side B")
+	downFile := flag.String("down", "", "mahimahi trace for A->B (downlink)")
+	upFile := flag.String("up", "", "mahimahi trace for B->A (uplink)")
+	gen := flag.String("gen", "", "generate traces for a canonical network instead (e.g. \"Verizon LTE\")")
+	genDur := flag.Duration("gendur", 10*time.Minute, "generated trace length")
+	prop := flag.Duration("prop", 20*time.Millisecond, "one-way propagation delay per direction")
+	loss := flag.Float64("loss", 0, "Bernoulli loss probability per direction")
+	useCodel := flag.Bool("codel", false, "apply CoDel on both queues")
+	seed := flag.Int64("seed", 1, "seed for generation and loss")
+	stats := flag.Duration("stats", 5*time.Second, "statistics reporting interval (0 disables)")
+	flag.Parse()
+
+	down, up, err := loadTraces(*downFile, *upFile, *gen, *genDur, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cellsim:", err)
+		os.Exit(1)
+	}
+
+	clock := realtime.New()
+	connA, err := udp.Listen(clock, *addrA)
+	exitOn(err)
+	connB, err := udp.Listen(clock, *addrB)
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "cellsim: A=%s (downlink %s, %.0f kbps) B=%s (uplink %s, %.0f kbps)\n",
+		connA.LocalAddr(), down.Name, down.MeanRateBps()/1000,
+		connB.LocalAddr(), up.Name, up.MeanRateBps()/1000)
+
+	mkLink := func(tr *trace.Trace, out *udp.Conn, seedOff int64) *link.Link {
+		cfg := link.Config{
+			Trace:            tr,
+			PropagationDelay: *prop,
+			LossRate:         *loss,
+		}
+		if *loss > 0 {
+			cfg.Rand = rand.New(rand.NewSource(*seed + seedOff))
+		}
+		if *useCodel {
+			cfg.Dequeuer = codel.New(0, 0)
+		}
+		return link.New(clock, cfg, func(p *network.Packet) { out.Send(p) })
+	}
+	// Links must be created inside the clock lock: their opportunity
+	// timers fire on it.
+	var downLink, upLink *link.Link
+	clock.Do(func() {
+		downLink = mkLink(down, connB, 1)
+		upLink = mkLink(up, connA, 2)
+	})
+
+	ingress := func(l *link.Link) network.Handler {
+		return func(p *network.Packet) {
+			p.SentAt = clock.Now()
+			l.Send(p)
+		}
+	}
+	go func() { exitOn(connA.Serve(ingress(downLink))) }()
+	go func() { exitOn(connB.Serve(ingress(upLink))) }()
+
+	if *stats > 0 {
+		go reportLoop(clock, *stats, downLink, upLink)
+	}
+	select {} // run until killed
+}
+
+func loadTraces(downFile, upFile, gen string, genDur time.Duration, seed int64) (down, up *trace.Trace, err error) {
+	if gen != "" {
+		for _, p := range trace.CanonicalNetworks() {
+			if p.Name == gen {
+				down = p.Down.Generate(genDur, rand.New(rand.NewSource(seed)))
+				up = p.Up.Generate(genDur, rand.New(rand.NewSource(seed+1)))
+				return down, up, nil
+			}
+		}
+		return nil, nil, fmt.Errorf("unknown network %q", gen)
+	}
+	if downFile == "" || upFile == "" {
+		return nil, nil, fmt.Errorf("need -down and -up trace files, or -gen")
+	}
+	down, err = readTrace(downFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	up, err = readTrace(upFile)
+	return down, up, err
+}
+
+func readTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Parse(f, path)
+}
+
+func reportLoop(clock *realtime.Clock, every time.Duration, down, up *link.Link) {
+	var lastDown, lastUp int64
+	for range time.Tick(every) {
+		clock.Do(func() {
+			d, u := down.DeliveredBytes(), up.DeliveredBytes()
+			fmt.Fprintf(os.Stderr,
+				"cellsim: down %7.0f kbps (queue %6d B)  up %7.0f kbps (queue %6d B)\n",
+				float64(d-lastDown)*8/every.Seconds()/1000, down.QueueBytes(),
+				float64(u-lastUp)*8/every.Seconds()/1000, up.QueueBytes())
+			lastDown, lastUp = d, u
+		})
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cellsim:", err)
+		os.Exit(1)
+	}
+}

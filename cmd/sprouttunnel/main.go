@@ -1,0 +1,240 @@
+// Command sprouttunnel carries arbitrary UDP traffic across a cellular
+// path inside a live Sprout session — the paper's SproutTunnel (§4.3) as a
+// working relay. Client applications keep their ordinary sockets; the
+// tunnel gives each flow its own queue, fills the Sprout window round-robin
+// and bounds total buffering by the delivery forecast, so an interactive
+// flow stays interactive next to a bulk one.
+//
+// Topology (client side sits behind the cellular link):
+//
+//	app ⇄ UDP :local ⇄ sprouttunnel -client ⇄ (cellular path) ⇄
+//	    sprouttunnel -server ⇄ UDP dst
+//
+// Usage:
+//
+//	sprouttunnel -server -listen :6000 -forward 10.0.0.5:7000
+//	sprouttunnel -client -local :5000 -remote relay.example.org:6000
+//
+// Each local peer (source address) becomes one tunnel flow. Two Sprout
+// sessions run over the same UDP pair, one per direction, demultiplexed by
+// the Sprout flow id.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"sprout/internal/network"
+	"sprout/internal/protocol"
+	"sprout/internal/realtime"
+	"sprout/internal/transport"
+	"sprout/internal/tunnel"
+	"sprout/internal/udp"
+)
+
+// Sprout session ids on the wire: data toward the server, data toward the
+// client.
+const (
+	sessToServer = 1
+	sessToClient = 2
+)
+
+func main() {
+	client := flag.Bool("client", false, "run the client (mobile) endpoint")
+	server := flag.Bool("server", false, "run the server (relay) endpoint")
+	local := flag.String("local", ":5000", "client: UDP address apps send to")
+	remote := flag.String("remote", "", "client: the relay's address")
+	listen := flag.String("listen", ":6000", "server: UDP listen address for the tunnel")
+	forward := flag.String("forward", "", "server: destination for decapsulated datagrams")
+	stats := flag.Duration("stats", 5*time.Second, "statistics interval (0 disables)")
+	flag.Parse()
+
+	switch {
+	case *client && !*server && *remote != "":
+		runClient(*local, *remote, *stats)
+	case *server && !*client && *forward != "":
+		runServer(*listen, *forward, *stats)
+	default:
+		fmt.Fprintln(os.Stderr, "sprouttunnel: need -client -remote HOST:PORT or -server -forward HOST:PORT")
+		os.Exit(2)
+	}
+}
+
+// endpoint bundles the two Sprout sessions sharing one UDP socket: a
+// sender carrying outbound client traffic and a receiver producing inbound
+// client traffic.
+type endpoint struct {
+	clock   *realtime.Clock
+	sock    *udp.Conn
+	ingress *tunnel.Ingress
+	egress  *tunnel.Egress
+	snd     *transport.Sender
+	rcv     *transport.Receiver
+}
+
+// newEndpoint wires the duplex tunnel endpoint. sendSess/recvSess identify
+// the Sprout session this side transmits on and listens to. deliver
+// receives decapsulated client packets.
+func newEndpoint(clock *realtime.Clock, sock *udp.Conn, sendSess, recvSess uint32, deliver network.Handler) *endpoint {
+	e := &endpoint{clock: clock, sock: sock}
+	e.ingress = tunnel.NewIngress()
+	e.egress = tunnel.NewEgress(clock, deliver)
+	clock.Do(func() {
+		e.rcv = transport.NewReceiver(transport.ReceiverConfig{
+			Flow: recvSess, Clock: clock, Conn: sock, Deliver: e.egress.Deliver,
+		})
+		e.snd = transport.NewSender(transport.SenderConfig{
+			Flow: sendSess, Clock: clock, Conn: sock, Source: e.ingress,
+		})
+		e.ingress.Bind(e.snd)
+	})
+	return e
+}
+
+// dispatch routes one tunnel datagram to the right session endpoint by its
+// Sprout flow id.
+func (e *endpoint) dispatch(p *network.Packet, sendSess uint32) {
+	var h protocol.Header
+	h.Forecast = make([]uint32, 0, protocol.MaxForecastTicks)
+	if err := h.Unmarshal(p.Payload); err != nil {
+		return
+	}
+	if h.Flow == sendSess {
+		e.snd.Receive(p) // feedback for our sender
+	} else {
+		e.rcv.Receive(p) // data (and its flight markers) for our receiver
+	}
+}
+
+// submit queues one client datagram for carriage.
+func (e *endpoint) submit(flow uint32, payload []byte) {
+	pkt := &network.Packet{
+		Flow:    flow,
+		Size:    len(payload),
+		Payload: append([]byte(nil), payload...),
+		SentAt:  e.clock.Now(),
+	}
+	e.ingress.Submit(pkt)
+}
+
+func runClient(local, remote string, statsEvery time.Duration) {
+	clock := realtime.New()
+	tunnelSock, err := udp.Dial(clock, remote)
+	exitOn(err)
+	appAddr, err := net.ResolveUDPAddr("udp", local)
+	exitOn(err)
+	appSock, err := net.ListenUDP("udp", appAddr)
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "sprouttunnel: client %s ⇄ %s\n", appSock.LocalAddr(), remote)
+
+	// Flow table: local app address <-> tunnel flow id.
+	var mu sync.Mutex
+	flowByAddr := map[string]uint32{}
+	addrByFlow := map[uint32]*net.UDPAddr{}
+	nextFlow := uint32(10)
+
+	ep := newEndpoint(clock, tunnelSock, sessToServer, sessToClient, func(p *network.Packet) {
+		mu.Lock()
+		addr := addrByFlow[p.Flow]
+		mu.Unlock()
+		if addr != nil {
+			appSock.WriteToUDP(p.Payload, addr)
+		}
+	})
+	go tunnelSock.Serve(func(p *network.Packet) { ep.dispatch(p, sessToServer) })
+
+	// Local app reader.
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, from, err := appSock.ReadFromUDP(buf)
+			if err != nil {
+				exitOn(err)
+			}
+			key := from.String()
+			mu.Lock()
+			flow, ok := flowByAddr[key]
+			if !ok {
+				flow = nextFlow
+				nextFlow++
+				flowByAddr[key] = flow
+				addrByFlow[flow] = from
+			}
+			mu.Unlock()
+			payload := append([]byte(nil), buf[:n]...)
+			clock.Do(func() { ep.submit(flow, payload) })
+		}
+	}()
+	reportLoop(clock, statsEvery, ep)
+}
+
+func runServer(listen, forward string, statsEvery time.Duration) {
+	clock := realtime.New()
+	tunnelSock, err := udp.Listen(clock, listen)
+	exitOn(err)
+	dst, err := net.ResolveUDPAddr("udp", forward)
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "sprouttunnel: relay %s → %s\n", tunnelSock.LocalAddr(), forward)
+
+	// Per-flow upstream sockets so return traffic maps back to the flow.
+	var mu sync.Mutex
+	socks := map[uint32]*net.UDPConn{}
+
+	var ep *endpoint
+	upstream := func(flow uint32) *net.UDPConn {
+		mu.Lock()
+		defer mu.Unlock()
+		if c, ok := socks[flow]; ok {
+			return c
+		}
+		c, err := net.DialUDP("udp", nil, dst)
+		if err != nil {
+			return nil
+		}
+		socks[flow] = c
+		go func() {
+			buf := make([]byte, 64*1024)
+			for {
+				n, err := c.Read(buf)
+				if err != nil {
+					return
+				}
+				payload := append([]byte(nil), buf[:n]...)
+				clock.Do(func() { ep.submit(flow, payload) })
+			}
+		}()
+		return c
+	}
+	ep = newEndpoint(clock, tunnelSock, sessToClient, sessToServer, func(p *network.Packet) {
+		if c := upstream(p.Flow); c != nil {
+			c.Write(p.Payload)
+		}
+	})
+	go tunnelSock.Serve(func(p *network.Packet) { ep.dispatch(p, sessToClient) })
+	reportLoop(clock, statsEvery, ep)
+}
+
+func reportLoop(clock *realtime.Clock, every time.Duration, ep *endpoint) {
+	if every <= 0 {
+		select {}
+	}
+	for range time.Tick(every) {
+		clock.Do(func() {
+			fmt.Fprintf(os.Stderr,
+				"sprouttunnel: sent %d pkts (backlog %d B, drops %d)  recv %d pkts  window %d B\n",
+				ep.snd.PacketsSent(), ep.ingress.Backlog(), ep.ingress.HeadDrops(),
+				ep.rcv.PacketsReceived(), ep.snd.Window())
+		})
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sprouttunnel:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+// Forecast: drive the inference engine directly — no network, no
+// transport — to see the Bayesian filter at work (§3.1–3.3 of the paper).
+// A synthetic link runs at 300 packets/s, collapses to an outage, and
+// recovers; the program prints the posterior and the cautious forecast as
+// the model reacts.
+//
+//	go run ./examples/forecast
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sprout"
+)
+
+func main() {
+	model := sprout.NewModel(sprout.Params{})
+	fc := sprout.NewDeliveryForecaster(model)
+	rng := rand.New(rand.NewSource(42))
+	tau := model.Params().Tick.Seconds()
+
+	phase := func(name string, rate float64, ticks int, printEvery int) {
+		fmt.Printf("\n-- %s (true rate %.0f pkt/s) --\n", name, rate)
+		for i := 0; i < ticks; i++ {
+			k := poisson(rng, rate*tau)
+			fc.Tick(float64(k), sprout.ObsExact)
+			if (i+1)%printEvery == 0 {
+				forecast := fc.Forecast(nil)
+				fmt.Printf("t+%4dms  posterior mean %6.1f pkt/s  P(outage) %5.3f  "+
+					"95%%-safe next 100ms: %4.0f pkt (160ms: %4.0f)\n",
+					(i+1)*20, model.Mean(), model.OutageProbability(),
+					forecast[4], forecast[7])
+			}
+		}
+	}
+
+	fmt.Println("Sprout's model: Poisson deliveries whose rate wanders in Brownian")
+	fmt.Println("motion (sigma = 200 pkt/s/sqrt(s)) with a sticky outage state.")
+	phase("steady link", 300, 100, 25)
+	phase("outage", 0, 25, 5)
+	phase("recovery", 500, 50, 10)
+
+	fmt.Println("\nNote how the cautious forecast collapses within ~100 ms of the outage")
+	fmt.Println("(this is what keeps Sprout's queues short) and rebuilds as evidence")
+	fmt.Println("of the recovered link accumulates.")
+
+	_ = time.Millisecond
+}
+
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,134 @@
+package codel
+
+import (
+	"testing"
+	"time"
+
+	"sprout/internal/link"
+	"sprout/internal/network"
+)
+
+func fill(q *link.FIFO, n int, enq time.Duration) {
+	for i := 0; i < n; i++ {
+		q.Push(&network.Packet{Seq: int64(i), Size: network.MTU, EnqueuedAt: enq})
+	}
+}
+
+func TestCoDelPassThroughLowDelay(t *testing.T) {
+	c := New(0, 0)
+	var q link.FIFO
+	fill(&q, 10, 0)
+	// Sojourn 1ms < target: everything passes.
+	for i := 0; i < 10; i++ {
+		if p := c.Next(time.Millisecond, &q); p == nil {
+			t.Fatalf("packet %d dropped at low delay", i)
+		}
+	}
+	if c.Drops() != 0 {
+		t.Errorf("drops = %d, want 0", c.Drops())
+	}
+}
+
+func TestCoDelEmptyQueue(t *testing.T) {
+	c := New(0, 0)
+	var q link.FIFO
+	if c.Next(time.Second, &q) != nil {
+		t.Error("Next on empty queue should be nil")
+	}
+}
+
+func TestCoDelDropsOnStandingQueue(t *testing.T) {
+	c := New(0, 0)
+	var q link.FIFO
+	// A deep standing queue: sojourn always 200ms (> 5ms target).
+	// Dequeue once per 10ms of virtual time; CoDel should enter the
+	// dropping state after one interval (100ms) and start dropping.
+	now := time.Duration(0)
+	dropped := false
+	for i := 0; i < 200; i++ {
+		// Keep the queue deep and stale.
+		for q.Len() < 50 {
+			q.Push(&network.Packet{Size: network.MTU, EnqueuedAt: now - 200*time.Millisecond})
+		}
+		c.Next(now, &q)
+		now += 10 * time.Millisecond
+		if c.Drops() > 0 {
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Fatal("CoDel never dropped despite standing 200ms queue")
+	}
+	if c.Drops() < 5 {
+		t.Errorf("drops = %d, want several (control law should accelerate)", c.Drops())
+	}
+}
+
+func TestCoDelNoDropsWhenQueueNearlyEmpty(t *testing.T) {
+	c := New(0, 0)
+	var q link.FIFO
+	// One old packet, but queue bytes <= MTU: CoDel must not drop
+	// (standing queue of one packet is allowed).
+	now := 10 * time.Second
+	for i := 0; i < 50; i++ {
+		q.Push(&network.Packet{Size: network.MTU, EnqueuedAt: 0})
+		if p := c.Next(now, &q); p == nil {
+			t.Fatal("dropped the only packet")
+		}
+		now += 50 * time.Millisecond
+	}
+	if c.Drops() != 0 {
+		t.Errorf("drops = %d, want 0", c.Drops())
+	}
+}
+
+func TestCoDelRecoversWhenDelayFalls(t *testing.T) {
+	c := New(0, 0)
+	var q link.FIFO
+	now := time.Duration(0)
+	// Phase 1: standing queue to enter dropping.
+	for i := 0; i < 100; i++ {
+		for q.Len() < 50 {
+			q.Push(&network.Packet{Size: network.MTU, EnqueuedAt: now - 300*time.Millisecond})
+		}
+		c.Next(now, &q)
+		now += 10 * time.Millisecond
+	}
+	drops1 := c.Drops()
+	if drops1 == 0 {
+		t.Fatal("setup failed: no drops in phase 1")
+	}
+	// Phase 2: fresh packets (low sojourn): dropping stops.
+	q = link.FIFO{}
+	for i := 0; i < 100; i++ {
+		q.Push(&network.Packet{Size: network.MTU, EnqueuedAt: now})
+		if p := c.Next(now+time.Millisecond, &q); p == nil {
+			t.Fatal("dropped a fresh packet")
+		}
+		now += 10 * time.Millisecond
+		q = link.FIFO{}
+	}
+	if c.Drops() != drops1 {
+		t.Errorf("drops grew in recovery phase: %d -> %d", drops1, c.Drops())
+	}
+}
+
+func TestCoDelDefaults(t *testing.T) {
+	c := New(0, 0)
+	if c.target != DefaultTarget || c.interval != DefaultInterval {
+		t.Errorf("defaults = %v/%v", c.target, c.interval)
+	}
+	c2 := New(time.Millisecond, time.Second)
+	if c2.target != time.Millisecond || c2.interval != time.Second {
+		t.Errorf("explicit params not honored")
+	}
+}
+
+func TestCoDelControlLawAccelerates(t *testing.T) {
+	c := New(0, 0)
+	t1 := c.controlLaw(0, 1)
+	t4 := c.controlLaw(0, 4)
+	if t4 != t1/2 {
+		t.Errorf("controlLaw(4) = %v, want half of controlLaw(1) = %v", t4, t1)
+	}
+}

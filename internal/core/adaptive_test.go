@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSetSigmaRebuildsKernel(t *testing.T) {
+	m := NewModel(Params{})
+	r1 := m.radius
+	m.SetSigma(800)
+	if m.Sigma() != 800 {
+		t.Errorf("Sigma = %v", m.Sigma())
+	}
+	if m.radius <= r1 {
+		t.Errorf("radius did not grow with sigma: %d -> %d", r1, m.radius)
+	}
+	// The distribution must remain valid under evolution with the new
+	// kernel.
+	m.Evolve()
+	if s := sum(m.Distribution(nil)); !almostOne(s) {
+		t.Errorf("sum = %v after SetSigma+Evolve", s)
+	}
+}
+
+func TestSetSigmaPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewModel(Params{}).SetSigma(0)
+}
+
+func TestAdaptiveShrinksSigmaOnSteadyLink(t *testing.T) {
+	m := NewModel(Params{})
+	a := NewAdaptiveForecaster(m, AdaptiveConfig{})
+	rng := rand.New(rand.NewSource(1))
+	tau := m.Params().Tick.Seconds()
+	for i := 0; i < 3000; i++ { // one virtual minute
+		a.Tick(float64(poissonSample(rng, 300*tau)), ObsExact)
+	}
+	if got := a.Sigma(); got >= DefaultSigma {
+		t.Errorf("sigma = %v after a steady minute, want below the default %v", got, DefaultSigma)
+	}
+	if a.Adaptations() == 0 {
+		t.Error("no adaptations on steady link")
+	}
+}
+
+func TestAdaptiveGrowsSigmaOnVolatileLink(t *testing.T) {
+	m := NewModel(Params{})
+	m.SetSigma(50) // start badly mismatched: model thinks link is calm
+	a := NewAdaptiveForecaster(m, AdaptiveConfig{})
+	rng := rand.New(rand.NewSource(2))
+	tau := m.Params().Tick.Seconds()
+	// A violently switching link: rate flips between 100 and 700 pkt/s
+	// every 10 ticks (200 ms).
+	for i := 0; i < 3000; i++ {
+		rate := 100.0
+		if (i/10)%2 == 1 {
+			rate = 700
+		}
+		a.Tick(float64(poissonSample(rng, rate*tau)), ObsExact)
+	}
+	if got := a.Sigma(); got <= 50 {
+		t.Errorf("sigma = %v on switching link, want growth above 50", got)
+	}
+}
+
+func TestAdaptiveRespectsBounds(t *testing.T) {
+	m := NewModel(Params{})
+	a := NewAdaptiveForecaster(m, AdaptiveConfig{MinSigma: 100, MaxSigma: 300})
+	rng := rand.New(rand.NewSource(3))
+	tau := m.Params().Tick.Seconds()
+	for i := 0; i < 5000; i++ {
+		a.Tick(float64(poissonSample(rng, 300*tau)), ObsExact)
+	}
+	if got := a.Sigma(); got < 100-1e-9 || got > 300+1e-9 {
+		t.Errorf("sigma = %v escaped [100, 300]", got)
+	}
+}
+
+func TestAdaptiveIgnoresCensoredTicks(t *testing.T) {
+	m := NewModel(Params{})
+	a := NewAdaptiveForecaster(m, AdaptiveConfig{Every: 5})
+	for i := 0; i < 500; i++ {
+		a.Tick(0.05, ObsAtLeast) // heartbeats only
+	}
+	if a.Adaptations() != 0 {
+		t.Errorf("adapted %d times on censored-only input", a.Adaptations())
+	}
+	if a.Sigma() != DefaultSigma {
+		t.Errorf("sigma moved to %v without exact observations", a.Sigma())
+	}
+}
+
+func TestAdaptiveForecastStillValid(t *testing.T) {
+	m := NewModel(Params{})
+	a := NewAdaptiveForecaster(m, AdaptiveConfig{})
+	rng := rand.New(rand.NewSource(4))
+	tau := m.Params().Tick.Seconds()
+	for i := 0; i < 1000; i++ {
+		a.Tick(float64(poissonSample(rng, 200*tau)), ObsExact)
+	}
+	fc := a.Forecast(nil)
+	if len(fc) != 8 {
+		t.Fatalf("forecast len = %d", len(fc))
+	}
+	for i := 1; i < len(fc); i++ {
+		if fc[i] < fc[i-1] {
+			t.Errorf("forecast not monotone: %v", fc)
+		}
+	}
+	if math.IsNaN(fc[7]) || fc[7] <= 0 {
+		t.Errorf("horizon forecast = %v", fc[7])
+	}
+}
+
+func TestAdaptiveImplementsForecaster(t *testing.T) {
+	var _ Forecaster = (*AdaptiveForecaster)(nil)
+}
+
+func TestAdaptiveTightensForecastWhenCalm(t *testing.T) {
+	// On a steady link, shrinking sigma should tighten (raise) the
+	// cautious forecast versus the frozen default.
+	rng1 := rand.New(rand.NewSource(5))
+	rng2 := rand.New(rand.NewSource(5))
+	frozen := NewDeliveryForecaster(NewModel(Params{}))
+	adaptive := NewAdaptiveForecaster(NewModel(Params{}), AdaptiveConfig{})
+	tau := 0.02
+	for i := 0; i < 3000; i++ {
+		frozen.Tick(float64(poissonSample(rng1, 300*tau)), ObsExact)
+		adaptive.Tick(float64(poissonSample(rng2, 300*tau)), ObsExact)
+	}
+	ff := frozen.Forecast(nil)
+	af := adaptive.Forecast(nil)
+	if af[7] <= ff[7] {
+		t.Errorf("adaptive horizon forecast %v should exceed frozen %v on a steady link", af[7], ff[7])
+	}
+}

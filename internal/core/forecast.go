@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"sprout/internal/stats"
+)
+
+// DeliveryForecaster produces Sprout's cautious packet-delivery forecast
+// (§3.3): for each of the next HorizonTicks ticks, a lower bound Q_i such
+// that the cumulative number of packets delivered by tick i meets or
+// exceeds Q_i with probability at least Confidence.
+//
+// As in the paper, nearly everything is precomputed: a table of Poisson
+// CDFs indexed by (tick, rate bin) is built once at construction, so a
+// runtime forecast is only a kernel evolution of the current posterior plus
+// weighted sums over the 256 bins.
+//
+// The cumulative count by future tick i, conditioned on the rate path, is a
+// Poisson with mean ∫λ dt. Following the paper's "sum over each λ" step we
+// approximate the path integral by λ_i · i·τ where λ_i is the rate at tick
+// i drawn from the evolved (observation-free) posterior; the Brownian
+// evolution itself carries the uncertainty between ticks.
+type DeliveryForecaster struct {
+	model *Model
+
+	// cdf[i][j] is the Poisson CDF table for mean binRate[j]*(i+1)*τ:
+	// cdf[i][j][k] = P(C <= k | λ = bin j at tick i+1).
+	cdf  [][][]float64
+	maxK int
+
+	// scratch buffers for the observation-free evolution.
+	cur, next []float64
+}
+
+// NewDeliveryForecaster builds the forecaster and its tables for the model.
+func NewDeliveryForecaster(m *Model) *DeliveryForecaster {
+	p := m.p
+	tau := p.Tick.Seconds()
+	// Largest plausible cumulative count: max rate over the full horizon,
+	// padded 25% so quantile scans never clip.
+	maxK := int(p.MaxRate*tau*float64(p.ForecastTicks)*1.25) + 10
+	f := &DeliveryForecaster{
+		model: m,
+		maxK:  maxK,
+		cur:   make([]float64, m.NumBins()),
+		next:  make([]float64, m.NumBins()),
+	}
+	f.cdf = make([][][]float64, p.ForecastTicks)
+	for i := 0; i < p.ForecastTicks; i++ {
+		f.cdf[i] = make([][]float64, m.NumBins())
+		horizon := float64(i+1) * tau
+		for j := 0; j < m.NumBins(); j++ {
+			f.cdf[i][j] = stats.PoissonCDFTable(m.binRate[j]*horizon, maxK)
+		}
+	}
+	return f
+}
+
+// Model returns the underlying Bayesian filter.
+func (f *DeliveryForecaster) Model() *Model { return f.model }
+
+// Tick implements Forecaster: evolve one tick, then apply the observation
+// in the requested mode.
+func (f *DeliveryForecaster) Tick(observed float64, mode Observation) {
+	f.model.Evolve()
+	switch mode {
+	case ObsExact:
+		f.model.Observe(observed)
+	case ObsAtLeast:
+		f.model.ObserveAtLeast(observed)
+	case ObsSkip:
+		// evolution only
+	}
+}
+
+// HorizonTicks implements Forecaster.
+func (f *DeliveryForecaster) HorizonTicks() int { return f.model.p.ForecastTicks }
+
+// TickDuration implements Forecaster.
+func (f *DeliveryForecaster) TickDuration() time.Duration { return f.model.p.Tick }
+
+// Forecast implements Forecaster: it evolves a copy of the posterior
+// forward tick by tick (without observations) and, at each tick, returns
+// the (1−Confidence) quantile of the cumulative-delivery mixture.
+// The result is nondecreasing across ticks.
+func (f *DeliveryForecaster) Forecast(dst []float64) []float64 {
+	return f.ForecastAt(dst, f.model.p.Confidence)
+}
+
+// ForecastAt is Forecast with an explicit confidence, used by the §5.5
+// confidence-parameter sweep.
+func (f *DeliveryForecaster) ForecastAt(dst []float64, confidence float64) []float64 {
+	p := 1 - confidence
+	if p <= 0 {
+		p = 1e-9
+	}
+	if p >= 1 {
+		p = 1 - 1e-9
+	}
+	copy(f.cur, f.model.probs)
+	prev := 0
+	for i := 0; i < f.model.p.ForecastTicks; i++ {
+		evolveInto(f.next, f.cur, f.model.kernel, f.model.radius, f.model.outageStay)
+		f.cur, f.next = f.next, f.cur
+		q := f.mixtureQuantile(i, p)
+		if q < prev {
+			q = prev // cumulative forecast must be nondecreasing
+		}
+		prev = q
+		dst = append(dst, float64(q))
+	}
+	return dst
+}
+
+// mixtureQuantile returns the largest count q such that
+// P(C_i >= q) >= 1-p, i.e. the first k whose mixture CDF exceeds p.
+func (f *DeliveryForecaster) mixtureQuantile(tick int, p float64) int {
+	table := f.cdf[tick]
+	weights := f.cur
+	// F(k) = Σ_j w_j · table[j][k] is nondecreasing in k; binary search
+	// for the first k with F(k) > p, then the cautious bound is that k.
+	lo, hi := 0, f.maxK
+	if f.mixtureCDF(table, weights, 0) > p {
+		return 0
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if f.mixtureCDF(table, weights, mid) > p {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+func (f *DeliveryForecaster) mixtureCDF(table [][]float64, weights []float64, k int) float64 {
+	var s float64
+	for j, w := range weights {
+		if w == 0 {
+			continue
+		}
+		s += w * table[j][k]
+	}
+	return s
+}
+
+// EWMAForecaster is the Sprout-EWMA variant (§5.3): it tracks the observed
+// per-tick delivery rate with an exponentially weighted moving average and
+// simply predicts that the link will continue at that speed for the whole
+// horizon, with no caution.
+type EWMAForecaster struct {
+	tick    time.Duration
+	horizon int
+	gain    float64
+	rate    float64 // packets per tick
+	primed  bool
+}
+
+// DefaultEWMAGain is the per-tick EWMA gain. One eighth per 20 ms tick
+// tracks rate increases within ~150 ms while still smoothing Poisson noise.
+const DefaultEWMAGain = 0.125
+
+// NewEWMAForecaster returns the Sprout-EWMA rate tracker. Zero gain,
+// tick or horizon select the defaults (DefaultEWMAGain, 20 ms, 8).
+func NewEWMAForecaster(gain float64, tick time.Duration, horizon int) *EWMAForecaster {
+	if gain == 0 {
+		gain = DefaultEWMAGain
+	}
+	if tick == 0 {
+		tick = DefaultTick
+	}
+	if horizon == 0 {
+		horizon = DefaultForecastTicks
+	}
+	return &EWMAForecaster{tick: tick, horizon: horizon, gain: gain}
+}
+
+// Tick implements Forecaster. Exact observations fold into the moving
+// average; censored (at-least) observations can only raise the estimate,
+// since the true deliverable count was at least what arrived; skipped
+// ticks leave the estimate untouched.
+func (e *EWMAForecaster) Tick(observed float64, mode Observation) {
+	switch mode {
+	case ObsSkip:
+		return
+	case ObsAtLeast:
+		if observed > e.rate {
+			e.rate = observed
+			e.primed = true
+		}
+		return
+	}
+	if !e.primed {
+		e.rate = observed
+		e.primed = true
+		return
+	}
+	e.rate += e.gain * (observed - e.rate)
+}
+
+// Rate returns the current smoothed rate estimate in packets per tick.
+func (e *EWMAForecaster) Rate() float64 { return e.rate }
+
+// HorizonTicks implements Forecaster.
+func (e *EWMAForecaster) HorizonTicks() int { return e.horizon }
+
+// TickDuration implements Forecaster.
+func (e *EWMAForecaster) TickDuration() time.Duration { return e.tick }
+
+// Forecast implements Forecaster: a straight line at the current rate.
+func (e *EWMAForecaster) Forecast(dst []float64) []float64 {
+	for i := 1; i <= e.horizon; i++ {
+		dst = append(dst, math.Max(0, e.rate*float64(i)))
+	}
+	return dst
+}

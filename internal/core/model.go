@@ -1,0 +1,284 @@
+package core
+
+import (
+	"math"
+
+	"sprout/internal/stats"
+)
+
+// likelihoodRateFloor is the minimum Poisson mean (packets/s) used in the
+// observation likelihood. Bin 0 represents a true outage (λ = 0), whose
+// literal likelihood would be zero for any positive observation and one
+// otherwise; a small floor keeps the filter numerically regular when a
+// stray fraction of a packet arrives during an apparent outage.
+const likelihoodRateFloor = 0.5
+
+// Model is the discretized Bayesian filter over the link rate λ.
+// It is not safe for concurrent use.
+type Model struct {
+	p        Params
+	binRate  []float64 // λ value of each bin, packets/s
+	binWidth float64   // packets/s between adjacent bins
+	probs    []float64 // current posterior over bins, sums to 1
+	scratch  []float64
+	logw     []float64
+
+	kernel     []float64 // Brownian transition kernel per tick, by bin offset
+	radius     int       // kernel half-width in bins
+	outageStay float64   // exp(-λz τ): probability an outage persists a tick
+
+	ticks int64 // ticks processed (diagnostics)
+}
+
+// NewModel builds a model with the given parameters (zero fields take the
+// paper defaults) and a uniform prior over rates.
+func NewModel(p Params) *Model {
+	p = p.withDefaults()
+	n := p.NumBins
+	m := &Model{
+		p:        p,
+		binRate:  make([]float64, n),
+		probs:    make([]float64, n),
+		scratch:  make([]float64, n),
+		logw:     make([]float64, n),
+		binWidth: p.MaxRate / float64(n-1),
+	}
+	for j := 0; j < n; j++ {
+		m.binRate[j] = float64(j) * m.binWidth
+	}
+	tau := p.Tick.Seconds()
+	stdBins := p.Sigma * math.Sqrt(tau) // packets/s of diffusion per tick
+	m.radius = int(math.Ceil(4*stdBins/m.binWidth)) + 1
+	if m.radius >= n {
+		m.radius = n - 1
+	}
+	m.kernel = stats.GaussianKernel(stdBins, m.binWidth, m.radius)
+	m.outageStay = math.Exp(-p.OutageEscape * tau)
+	m.Reset()
+	return m
+}
+
+// Params returns the (defaulted) parameters the model was built with.
+func (m *Model) Params() Params { return m.p }
+
+// Sigma returns the current Brownian noise power (packets/s/√s).
+func (m *Model) Sigma() float64 { return m.p.Sigma }
+
+// SetSigma changes the Brownian noise power and rebuilds the per-tick
+// transition kernel. The posterior is untouched; only future evolution
+// steps use the new diffusion. Used by the adaptive-σ extension (§3.1's
+// "vary slowly with time").
+func (m *Model) SetSigma(sigma float64) {
+	if sigma <= 0 {
+		panic("core: sigma must be positive")
+	}
+	m.p.Sigma = sigma
+	tau := m.p.Tick.Seconds()
+	std := sigma * math.Sqrt(tau)
+	n := len(m.probs)
+	m.radius = int(math.Ceil(4*std/m.binWidth)) + 1
+	if m.radius >= n {
+		m.radius = n - 1
+	}
+	m.kernel = stats.GaussianKernel(std, m.binWidth, m.radius)
+}
+
+// Reset restores the uniform prior (all rates equally probable, §3.1).
+func (m *Model) Reset() {
+	u := 1 / float64(len(m.probs))
+	for i := range m.probs {
+		m.probs[i] = u
+	}
+	m.ticks = 0
+}
+
+// Ticks returns the number of ticks processed since the last Reset.
+func (m *Model) Ticks() int64 { return m.ticks }
+
+// NumBins returns the number of λ bins.
+func (m *Model) NumBins() int { return len(m.probs) }
+
+// BinRate returns the λ value (packets/s) of bin j.
+func (m *Model) BinRate(j int) float64 { return m.binRate[j] }
+
+// Distribution copies the current posterior into dst (allocating if nil).
+func (m *Model) Distribution(dst []float64) []float64 {
+	dst = append(dst[:0], m.probs...)
+	return dst
+}
+
+// Evolve advances the posterior one tick of Brownian motion with the
+// outage-stickiness bias (§3.2 step 1). evolveInto is shared with the
+// forecaster, which evolves a scratch copy.
+func (m *Model) Evolve() {
+	evolveInto(m.scratch, m.probs, m.kernel, m.radius, m.outageStay)
+	m.probs, m.scratch = m.scratch, m.probs
+	m.ticks++
+}
+
+// evolveInto computes one evolution step from src into dst. dst and src
+// must be distinct slices of equal length. Probability mass diffusing below
+// bin 0 collects in bin 0 (entering an outage); mass above the top bin folds
+// into the top bin. Bin 0 itself keeps fraction outageStay in place and
+// diffuses only the escaping remainder.
+func evolveInto(dst, src, kernel []float64, radius int, outageStay float64) {
+	n := len(src)
+	for i := range dst {
+		dst[i] = 0
+	}
+	// Bins 1..n-1: plain truncated-Gaussian diffusion with folding.
+	for j := 1; j < n; j++ {
+		pj := src[j]
+		if pj == 0 {
+			continue
+		}
+		lo := j - radius
+		hi := j + radius
+		for k := lo; k <= hi; k++ {
+			w := kernel[k-j+radius]
+			switch {
+			case k < 0:
+				dst[0] += pj * w // diffused into outage
+			case k >= n:
+				dst[n-1] += pj * w
+			default:
+				dst[k] += pj * w
+			}
+		}
+	}
+	// Bin 0: sticky outage. Stay with probability outageStay; otherwise
+	// escape by diffusing from 0 (half of that kernel folds back into 0,
+	// making outages even stickier, as observed on real links).
+	p0 := src[0]
+	if p0 > 0 {
+		dst[0] += p0 * outageStay
+		esc := p0 * (1 - outageStay)
+		for k := -radius; k <= radius; k++ {
+			w := kernel[k+radius]
+			if k <= 0 {
+				dst[0] += esc * w
+			} else if k < n {
+				dst[k] += esc * w
+			} else {
+				dst[n-1] += esc * w
+			}
+		}
+	}
+}
+
+// Observe multiplies in the Poisson likelihood of seeing `packets`
+// MTU-equivalents during one tick and renormalizes (§3.2 steps 2–3).
+// packets may be fractional (bytes divided by the MTU).
+func (m *Model) Observe(packets float64) {
+	if packets < 0 {
+		packets = 0
+	}
+	tau := m.p.Tick.Seconds()
+	maxLog := math.Inf(-1)
+	for j, pj := range m.probs {
+		if pj == 0 {
+			m.logw[j] = math.Inf(-1)
+			continue
+		}
+		rate := m.binRate[j]
+		if rate < likelihoodRateFloor {
+			rate = likelihoodRateFloor
+		}
+		lw := math.Log(pj) + stats.PoissonLogPMF(rate*tau, packets)
+		m.logw[j] = lw
+		if lw > maxLog {
+			maxLog = lw
+		}
+	}
+	if math.IsInf(maxLog, -1) {
+		// Observation is impossible under every hypothesis (can only
+		// happen after numerical collapse): fall back to the prior.
+		m.Reset()
+		return
+	}
+	var sum float64
+	for j := range m.probs {
+		w := math.Exp(m.logw[j] - maxLog)
+		m.probs[j] = w
+		sum += w
+	}
+	inv := 1 / sum
+	for j := range m.probs {
+		m.probs[j] *= inv
+	}
+}
+
+// ObserveAtLeast multiplies in the censored likelihood P(C >= packets) and
+// renormalizes. This is the correct update when the bottleneck queue may
+// have underflowed: the link delivered everything offered, so the count
+// only lower-bounds what the service process could have delivered.
+// A count of zero is a no-op (P(C >= 0) = 1 for every rate).
+func (m *Model) ObserveAtLeast(packets float64) {
+	if packets <= 0 {
+		return
+	}
+	tau := m.p.Tick.Seconds()
+	k := int(math.Ceil(packets)) - 1 // survival = 1 - CDF(ceil(k)-1)
+	var sum float64
+	for j := range m.probs {
+		if m.probs[j] == 0 {
+			continue
+		}
+		rate := m.binRate[j]
+		if rate < likelihoodRateFloor {
+			rate = likelihoodRateFloor
+		}
+		surv := 1 - stats.PoissonCDF(rate*tau, k)
+		m.probs[j] *= surv
+		sum += m.probs[j]
+	}
+	if sum == 0 {
+		m.Reset()
+		return
+	}
+	inv := 1 / sum
+	for j := range m.probs {
+		m.probs[j] *= inv
+	}
+}
+
+// Tick performs one full inference update: evolve then observe.
+func (m *Model) Tick(packets float64) {
+	m.Evolve()
+	m.Observe(packets)
+}
+
+// Mean returns the posterior mean rate in packets/s.
+func (m *Model) Mean() float64 {
+	var s float64
+	for j, p := range m.probs {
+		s += p * m.binRate[j]
+	}
+	return s
+}
+
+// MAP returns the posterior-mode rate in packets/s.
+func (m *Model) MAP() float64 {
+	best, bestP := 0, m.probs[0]
+	for j, p := range m.probs {
+		if p > bestP {
+			best, bestP = j, p
+		}
+	}
+	return m.binRate[best]
+}
+
+// Quantile returns the smallest rate r such that P(λ <= r) >= p.
+func (m *Model) Quantile(p float64) float64 {
+	var c float64
+	for j, pj := range m.probs {
+		c += pj
+		if c >= p {
+			return m.binRate[j]
+		}
+	}
+	return m.binRate[len(m.binRate)-1]
+}
+
+// OutageProbability returns the posterior mass on λ = 0.
+func (m *Model) OutageProbability() float64 { return m.probs[0] }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveEvolve is a straightforward reference implementation of the
+// evolution step, written independently of the optimized evolveInto:
+// build the full transition matrix row by row and multiply.
+func naiveEvolve(src, kernel []float64, radius int, outageStay float64) []float64 {
+	n := len(src)
+	dst := make([]float64, n)
+	// Rows j >= 1: truncated Gaussian with edge folding.
+	for j := 1; j < n; j++ {
+		for d := -radius; d <= radius; d++ {
+			k := j + d
+			w := src[j] * kernel[d+radius]
+			switch {
+			case k < 0:
+				dst[0] += w
+			case k >= n:
+				dst[n-1] += w
+			default:
+				dst[k] += w
+			}
+		}
+	}
+	// Row 0: sticky outage.
+	stay := src[0] * outageStay
+	esc := src[0] * (1 - outageStay)
+	dst[0] += stay
+	for d := -radius; d <= radius; d++ {
+		k := d
+		w := esc * kernel[d+radius]
+		switch {
+		case k <= 0:
+			dst[0] += w
+		case k >= n:
+			dst[n-1] += w
+		default:
+			dst[k] += w
+		}
+	}
+	return dst
+}
+
+func TestEvolveMatchesNaiveReference(t *testing.T) {
+	m := NewModel(Params{NumBins: 64, MaxRate: 250})
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random valid distribution.
+		src := make([]float64, m.NumBins())
+		var sum float64
+		for i := range src {
+			src[i] = rng.Float64()
+			sum += src[i]
+		}
+		for i := range src {
+			src[i] /= sum
+		}
+		want := naiveEvolve(src, m.kernel, m.radius, m.outageStay)
+		got := make([]float64, len(src))
+		evolveInto(got, src, m.kernel, m.radius, m.outageStay)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestModelInvariantsUnderRandomOps drives the filter with arbitrary
+// operation sequences and checks the distribution invariants hold at every
+// step: nonnegative, sums to one, and summary statistics within range.
+func TestModelInvariantsUnderRandomOps(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(2))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModel(Params{NumBins: 128})
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				m.Evolve()
+			case 1:
+				m.Observe(float64(rng.Intn(30)) + rng.Float64())
+			case 2:
+				m.ObserveAtLeast(rng.Float64() * 10)
+			case 3:
+				m.Tick(float64(rng.Intn(25)))
+			}
+			var sum float64
+			d := m.Distribution(nil)
+			for _, p := range d {
+				if p < 0 || math.IsNaN(p) {
+					return false
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+			if mean := m.Mean(); mean < 0 || mean > m.p.MaxRate {
+				return false
+			}
+			if q := m.Quantile(0.5); q < 0 || q > m.p.MaxRate {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForecastMonotoneUnderRandomHistories: whatever the observation
+// history, the cumulative forecast must be nondecreasing across ticks and
+// nonincreasing in confidence.
+func TestForecastMonotoneUnderRandomHistories(t *testing.T) {
+	m := NewModel(Params{NumBins: 64, MaxRate: 500})
+	fc := NewDeliveryForecaster(m)
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m.Reset()
+		for i := 0; i < 100; i++ {
+			mode := Observation(rng.Intn(3))
+			fc.Tick(rng.Float64()*float64(rng.Intn(12)), mode)
+		}
+		lo := fc.ForecastAt(nil, 0.95)
+		hi := fc.ForecastAt(nil, 0.50)
+		prev := -1.0
+		for i := range lo {
+			if lo[i] < prev {
+				return false
+			}
+			prev = lo[i]
+			if lo[i] > hi[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObserveAtLeastNeverLowersUpperMass(t *testing.T) {
+	// The censored update must never shift probability mass downward:
+	// the posterior CDF after ObserveAtLeast(k) is stochastically
+	// dominated by (i.e. everywhere <= ) the prior CDF.
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(4))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModel(Params{NumBins: 64})
+		// Random starting posterior via a few random observations.
+		for i := 0; i < 10; i++ {
+			m.Tick(float64(rng.Intn(15)))
+		}
+		before := m.Distribution(nil)
+		m.ObserveAtLeast(rng.Float64() * 12)
+		after := m.Distribution(nil)
+		cb, ca := 0.0, 0.0
+		for i := range before {
+			cb += before[i]
+			ca += after[i]
+			if ca > cb+1e-9 {
+				return false // mass moved downward
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

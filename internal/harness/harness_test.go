@@ -1,0 +1,297 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"sprout/internal/trace"
+)
+
+// shortOpt keeps test runtime low while leaving enough steady state for
+// shape assertions (full-length runs happen in cmd/sproutbench and the
+// repository benchmarks).
+var shortOpt = Options{Duration: 45 * time.Second, Skip: 12 * time.Second}
+
+func runAllOnLTE(t *testing.T) map[string]Cell {
+	t.Helper()
+	pair := trace.CanonicalNetworks()[0]
+	data, fb := GenerateTracePair(pair, "down", shortOpt.Duration, 1)
+	out := make(map[string]Cell)
+	for _, s := range Schemes() {
+		res, err := Run(Config{
+			Scheme: s, DataTrace: data, FeedbackTrace: fb,
+			Duration: shortOpt.Duration, Skip: shortOpt.Skip,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		out[s] = toCell(res)
+		t.Logf("%-12s tput=%7.0f kbps self95=%7.0f ms util=%.2f",
+			s, out[s].ThroughputKbps, out[s].SelfInflictedMs, out[s].Utilization)
+	}
+	return out
+}
+
+// TestFigure7Shape asserts the qualitative relationships of Figure 7 on
+// the Verizon LTE downlink: who wins on delay, who on throughput, and the
+// ordering between key pairs of schemes.
+func TestFigure7Shape(t *testing.T) {
+	c := runAllOnLTE(t)
+
+	// Sprout has (near-)lowest delay: below every interactive app and
+	// below Cubic/LEDBAT/Sprout-EWMA.
+	for _, s := range []string{"skype", "hangout", "facetime", "cubic", "ledbat", "sprout-ewma"} {
+		if c["sprout"].SelfInflictedMs >= c[s].SelfInflictedMs {
+			t.Errorf("sprout delay %.0fms should be below %s %.0fms",
+				c["sprout"].SelfInflictedMs, s, c[s].SelfInflictedMs)
+		}
+	}
+	// Sprout throughput beats every commercial app.
+	for _, s := range []string{"skype", "hangout", "facetime"} {
+		if c["sprout"].ThroughputKbps <= c[s].ThroughputKbps {
+			t.Errorf("sprout tput %.0f should beat %s %.0f",
+				c["sprout"].ThroughputKbps, s, c[s].ThroughputKbps)
+		}
+	}
+	// Sprout-EWMA out-throughputs Sprout (the §5.3 tradeoff).
+	if c["sprout-ewma"].ThroughputKbps <= c["sprout"].ThroughputKbps {
+		t.Errorf("sprout-ewma tput %.0f should exceed sprout %.0f",
+			c["sprout-ewma"].ThroughputKbps, c["sprout"].ThroughputKbps)
+	}
+	// Cubic builds multi-second queues; CoDel rescues it (§5.4).
+	if c["cubic"].SelfInflictedMs < 2000 {
+		t.Errorf("cubic self-delay = %.0fms, want multi-second", c["cubic"].SelfInflictedMs)
+	}
+	if c["cubic-codel"].SelfInflictedMs >= c["cubic"].SelfInflictedMs/5 {
+		t.Errorf("codel should slash cubic's delay: %.0f vs %.0f",
+			c["cubic-codel"].SelfInflictedMs, c["cubic"].SelfInflictedMs)
+	}
+	// CoDel costs Cubic some throughput (§2.1/§5.4).
+	if c["cubic-codel"].ThroughputKbps >= c["cubic"].ThroughputKbps {
+		t.Errorf("cubic-codel tput %.0f should be below cubic %.0f",
+			c["cubic-codel"].ThroughputKbps, c["cubic"].ThroughputKbps)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Scheme: "nope"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := Run(Config{Scheme: "sprout"}); err == nil {
+		t.Error("missing traces accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	pair := trace.CanonicalNetworks()[1]
+	data, fb := GenerateTracePair(pair, "up", 20*time.Second, 3)
+	cfg := Config{Scheme: "sprout", DataTrace: data, FeedbackTrace: fb,
+		Duration: 20 * time.Second, Skip: 5 * time.Second, Seed: 9}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ThroughputBps != b.ThroughputBps || a.Delay95 != b.Delay95 {
+		t.Errorf("runs differ: %+v vs %+v", a.Result, b.Result)
+	}
+}
+
+func TestGenerateTracePairDirections(t *testing.T) {
+	pair := trace.CanonicalNetworks()[0]
+	d1, f1 := GenerateTracePair(pair, "down", 10*time.Second, 5)
+	d2, f2 := GenerateTracePair(pair, "up", 10*time.Second, 5)
+	if d1.Name != f2.Name || f1.Name != d2.Name {
+		t.Errorf("directions not swapped: %q/%q vs %q/%q", d1.Name, f1.Name, d2.Name, f2.Name)
+	}
+	if d1.Name != "Verizon-LTE-down" {
+		t.Errorf("down data trace = %q", d1.Name)
+	}
+}
+
+func TestTunnelComparisonShape(t *testing.T) {
+	res, err := RunTunnelComparison(shortOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("direct: cubic=%.0f skype=%.0f delay=%v", res.CubicKbpsDirect, res.SkypeKbpsDirect, res.SkypeDelay95Direct)
+	t.Logf("tunnel: cubic=%.0f skype=%.0f delay=%v drops=%d", res.CubicKbpsTunnel, res.SkypeKbpsTunnel, res.SkypeDelay95Tunnel, res.TunnelHeadDrops)
+	// §5.7: the tunnel slashes Skype's delay by an order of magnitude...
+	if res.SkypeDelay95Tunnel*5 >= res.SkypeDelay95Direct {
+		t.Errorf("tunnel should slash skype delay: %v -> %v", res.SkypeDelay95Direct, res.SkypeDelay95Tunnel)
+	}
+	// ...multiplies Skype's throughput...
+	if res.SkypeKbpsTunnel <= 3*res.SkypeKbpsDirect {
+		t.Errorf("tunnel should raise skype tput: %.0f -> %.0f", res.SkypeKbpsDirect, res.SkypeKbpsTunnel)
+	}
+	// ...and Cubic pays a substantial throughput penalty.
+	if res.CubicKbpsTunnel >= res.CubicKbpsDirect {
+		t.Errorf("cubic should pay: %.0f -> %.0f", res.CubicKbpsDirect, res.CubicKbpsTunnel)
+	}
+	// Interactivity restored in absolute terms.
+	if res.SkypeDelay95Tunnel > time.Second {
+		t.Errorf("tunneled skype delay = %v, want interactive", res.SkypeDelay95Tunnel)
+	}
+}
+
+func TestLossTableShape(t *testing.T) {
+	rows, err := LossTable(shortOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	byKey := map[string]LossRow{}
+	for _, r := range rows {
+		byKey[r.Direction+string(rune('0'+r.LossPct/5))] = r
+		t.Logf("%s %2d%%: %7.0f kbps %6.0f ms", r.Direction, r.LossPct, r.ThroughputKbps, r.SelfInflictedMs)
+	}
+	// §5.6: throughput diminishes with loss but remains substantial, and
+	// delay stays low.
+	d0, d1, d2 := byKey["Downlink0"], byKey["Downlink1"], byKey["Downlink2"]
+	if !(d0.ThroughputKbps > d1.ThroughputKbps && d1.ThroughputKbps > d2.ThroughputKbps) {
+		t.Errorf("downlink throughput should decrease with loss: %v %v %v",
+			d0.ThroughputKbps, d1.ThroughputKbps, d2.ThroughputKbps)
+	}
+	if d2.ThroughputKbps < d0.ThroughputKbps/5 {
+		t.Errorf("10%% loss throughput %.0f collapsed (0%% = %.0f); Sprout should be loss-resilient",
+			d2.ThroughputKbps, d0.ThroughputKbps)
+	}
+	for _, r := range rows {
+		if r.SelfInflictedMs > 800 {
+			t.Errorf("%s %d%%: delay %.0fms too high; loss should not inflate delay", r.Direction, r.LossPct, r.SelfInflictedMs)
+		}
+	}
+}
+
+func TestFig9ConfidenceSweepShape(t *testing.T) {
+	cells, err := Fig9(shortOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Cell{}
+	for _, c := range cells {
+		byName[c.Scheme] = c
+		t.Logf("%-12s tput=%6.0f delay=%6.0f", c.Scheme, c.ThroughputKbps, c.SelfInflictedMs)
+	}
+	// §5.5: decreasing confidence trades delay for throughput. Demand
+	// monotone throughput along 95% -> 50% -> 5% and that 5% has both
+	// more throughput and more delay than 95%.
+	c95, c50, c05 := byName["sprout-95%"], byName["sprout-50%"], byName["sprout-5%"]
+	if !(c95.ThroughputKbps <= c50.ThroughputKbps && c50.ThroughputKbps <= c05.ThroughputKbps) {
+		t.Errorf("throughput not monotone in confidence: %v %v %v",
+			c95.ThroughputKbps, c50.ThroughputKbps, c05.ThroughputKbps)
+	}
+	if c05.SelfInflictedMs <= c95.SelfInflictedMs {
+		t.Errorf("5%% confidence delay %.0f should exceed 95%% delay %.0f",
+			c05.SelfInflictedMs, c95.SelfInflictedMs)
+	}
+}
+
+func TestFig1Timeseries(t *testing.T) {
+	pts, err := Fig1(Options{Duration: 30 * time.Second, Skip: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 30 {
+		t.Fatalf("got %d points, want 30", len(pts))
+	}
+	var sproutSum, skypeSum, capSum float64
+	for _, p := range pts[5:] {
+		sproutSum += p.SproutKbps
+		skypeSum += p.SkypeKbps
+		capSum += p.CapacityKbps
+	}
+	if sproutSum == 0 || skypeSum == 0 || capSum == 0 {
+		t.Errorf("empty series: sprout=%v skype=%v cap=%v", sproutSum, skypeSum, capSum)
+	}
+	if sproutSum > capSum {
+		t.Errorf("sprout delivered more than capacity: %v > %v", sproutSum, capSum)
+	}
+}
+
+func TestFig2Distribution(t *testing.T) {
+	d, err := Fig2(Options{Duration: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fig2: n=%d p50=%.0fus p99=%.0fus frac<20ms=%.4f tail=%.2f (bins=%d) maxgap=%.1fs",
+		d.Count, d.P50us, d.P99us, d.FracWithin20, d.TailExponent, d.TailBinsUsed, d.MaxGapSeconds)
+	// Figure 2's qualitative content: the vast majority of interarrivals
+	// are short, but the distribution has a heavy tail with multi-second
+	// gaps and a negative power-law exponent.
+	if d.FracWithin20 < 0.95 {
+		t.Errorf("frac within 20ms = %v, want > 0.95", d.FracWithin20)
+	}
+	if d.MaxGapSeconds < 1 {
+		t.Errorf("max gap = %vs, want outage-scale gaps", d.MaxGapSeconds)
+	}
+	if d.TailExponent >= -1 {
+		t.Errorf("tail exponent = %v, want steep negative slope", d.TailExponent)
+	}
+}
+
+func TestMatrixAndSummaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run is slow")
+	}
+	// A reduced matrix: three schemes over all links.
+	m, err := RunMatrix(Options{Duration: 30 * time.Second, Skip: 8 * time.Second},
+		[]string{"sprout", "cubic", "skype"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Links) != 8 {
+		t.Fatalf("links = %d, want 8", len(m.Links))
+	}
+	rows := m.Summarize("sprout", []string{"sprout", "cubic", "skype"})
+	if len(rows) != 3 {
+		t.Fatalf("summary rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-8s speedup=%.2f delayred=%.2f avg=%.2fs", r.Scheme, r.AvgSpeedup, r.DelayReduction, r.AvgDelaySec)
+	}
+	if rows[0].Scheme != "sprout" || rows[0].AvgSpeedup != 1 || rows[0].DelayReduction != 1 {
+		t.Errorf("reference row should be exactly 1.0x: %+v", rows[0])
+	}
+	// Cubic's delay across the 8 links dwarfs Sprout's.
+	for _, r := range rows {
+		if r.Scheme == "cubic" && r.DelayReduction < 3 {
+			t.Errorf("cubic delay reduction = %.1fx, want large", r.DelayReduction)
+		}
+	}
+	f8 := m.Fig8([]string{"sprout", "cubic"})
+	if len(f8) != 2 {
+		t.Fatalf("fig8 rows = %d", len(f8))
+	}
+	if f8[1].AvgUtilizationPct <= f8[0].AvgUtilizationPct {
+		t.Errorf("cubic util %.0f%% should exceed sprout %.0f%%", f8[1].AvgUtilizationPct, f8[0].AvgUtilizationPct)
+	}
+}
+
+func TestFormatCells(t *testing.T) {
+	out := FormatCells("test", []Cell{
+		{Scheme: "b", ThroughputKbps: 100, SelfInflictedMs: 50},
+		{Scheme: "a", ThroughputKbps: 200, SelfInflictedMs: 10},
+	})
+	if out == "" {
+		t.Fatal("empty output")
+	}
+	// Sorted by delay: "a" first.
+	if idxA, idxB := indexOf(out, "\na"), indexOf(out, "\nb"); idxA > idxB {
+		t.Errorf("cells not sorted by delay:\n%s", out)
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

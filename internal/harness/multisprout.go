@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"time"
+
+	"sprout/internal/link"
+	"sprout/internal/metrics"
+	"sprout/internal/network"
+	"sprout/internal/sim"
+	"sprout/internal/trace"
+	"sprout/internal/transport"
+)
+
+// MultiSproutResult reports N concurrent Sprout sessions sharing one
+// bottleneck queue — the configuration §7 of the paper explicitly leaves
+// unevaluated ("We have not evaluated the performance of multiple Sprouts
+// sharing a queue"). This experiment fills that gap.
+type MultiSproutResult struct {
+	// PerFlowKbps is each session's delivered throughput.
+	PerFlowKbps []float64
+	// JainIndex is Jain's fairness index over the per-flow throughputs
+	// (1.0 = perfectly fair).
+	JainIndex float64
+	// AggregateKbps is the combined throughput.
+	AggregateKbps float64
+	// Delay95 is the 95% end-to-end delay of the combined stream.
+	Delay95 time.Duration
+	// SoloKbps and SoloDelay95 are a single session's numbers on the
+	// same traces, for comparison.
+	SoloKbps    float64
+	SoloDelay95 time.Duration
+}
+
+// RunMultiSprout runs n concurrent Sprout bulk sessions over one shared
+// Verizon LTE downlink (plus a solo reference run) and reports fairness
+// and delay.
+func RunMultiSprout(opt Options, n int) (MultiSproutResult, error) {
+	opt = opt.withDefaults()
+	if n < 1 {
+		n = 2
+	}
+	pair := trace.CanonicalNetworks()[0]
+	data, fb := GenerateTracePair(pair, "down", opt.Duration, opt.Seed)
+
+	runN := func(count int) ([]float64, time.Duration, []link.Delivery) {
+		loop := sim.New()
+		rcvs := make([]*transport.Receiver, count)
+		snds := make([]*transport.Sender, count)
+		fwd := link.New(loop, link.Config{
+			Trace: data, PropagationDelay: 20 * time.Millisecond,
+		}, func(p *network.Packet) {
+			if int(p.Flow) < count {
+				rcvs[p.Flow].Receive(p)
+			}
+		})
+		fwd.RecordDeliveries(true)
+		rev := link.New(loop, link.Config{
+			Trace: fb, PropagationDelay: 20 * time.Millisecond,
+		}, func(p *network.Packet) {
+			if int(p.Flow) < count {
+				snds[p.Flow].Receive(p)
+			}
+		})
+		for i := 0; i < count; i++ {
+			flow := uint32(i)
+			rcvs[i] = transport.NewReceiver(transport.ReceiverConfig{
+				Flow: flow, Clock: loop, Conn: rev,
+			})
+			snds[i] = transport.NewSender(transport.SenderConfig{
+				Flow: flow, Clock: loop, Conn: fwd,
+			})
+		}
+		loop.Run(opt.Duration)
+		dl := fwd.Deliveries()
+		per := make([]float64, count)
+		for i := 0; i < count; i++ {
+			per[i] = metrics.Throughput(metrics.FilterFlow(dl, uint32(i)), opt.Skip, opt.Duration) / 1000
+		}
+		delay := metrics.EndToEndDelay(dl, opt.Skip, opt.Duration, 0.95)
+		return per, delay, dl
+	}
+
+	soloPer, soloDelay, _ := runN(1)
+	per, delay, _ := runN(n)
+
+	res := MultiSproutResult{
+		PerFlowKbps: per,
+		Delay95:     delay,
+		SoloKbps:    soloPer[0],
+		SoloDelay95: soloDelay,
+	}
+	var sum, sumSq float64
+	for _, p := range per {
+		sum += p
+		sumSq += p * p
+	}
+	res.AggregateKbps = sum
+	if sumSq > 0 {
+		res.JainIndex = sum * sum / (float64(len(per)) * sumSq)
+	}
+	return res, nil
+}

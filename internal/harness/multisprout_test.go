@@ -1,0 +1,28 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMultiSproutSharing(t *testing.T) {
+	res, err := RunMultiSprout(Options{Duration: 60 * time.Second, Skip: 15 * time.Second}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("solo: %.0f kbps / %v", res.SoloKbps, res.SoloDelay95)
+	t.Logf("2 flows: %v kbps (agg %.0f, jain %.3f) / %v", res.PerFlowKbps, res.AggregateKbps, res.JainIndex, res.Delay95)
+	// Extension finding to lock in: flows share fairly...
+	if res.JainIndex < 0.85 {
+		t.Errorf("Jain index = %.3f, want >= 0.85", res.JainIndex)
+	}
+	// ...aggregate is in the solo neighbourhood or better...
+	if res.AggregateKbps < res.SoloKbps*0.8 {
+		t.Errorf("aggregate %.0f collapsed vs solo %.0f", res.AggregateKbps, res.SoloKbps)
+	}
+	// ...and delay inflates (each flow's cautious window tolerates its own
+	// 100 ms of queue, and the queues add) but stays interactive-ish.
+	if res.Delay95 > 2*time.Second {
+		t.Errorf("shared delay = %v, way beyond expectation", res.Delay95)
+	}
+}

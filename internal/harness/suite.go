@@ -1,0 +1,415 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"sprout/internal/stats"
+	"sprout/internal/trace"
+)
+
+// Options parameterizes a full experiment suite run.
+type Options struct {
+	// Duration and Skip per run. Zero takes the harness defaults
+	// (150 s / 30 s).
+	Duration, Skip time.Duration
+	// Seed drives trace generation and all stochastic components.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Duration == 0 {
+		o.Duration = 150 * time.Second
+	}
+	if o.Skip == 0 {
+		o.Skip = 30 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// LinkName formats a (network, direction) pair the way Figure 7 does.
+func LinkName(network, direction string) string {
+	if direction == "up" {
+		return network + " Uplink"
+	}
+	return network + " Downlink"
+}
+
+// Cell is one scheme's result on one link (a point in a Figure 7 chart).
+type Cell struct {
+	Scheme          string
+	ThroughputKbps  float64
+	SelfInflictedMs float64
+	Utilization     float64
+	MeanDelayMs     float64
+}
+
+// Matrix holds the full schemes × links result grid that Figure 7,
+// Table 1, Table 2 and Figure 8 are all derived from.
+type Matrix struct {
+	Options Options
+	// Links lists the 8 (network, direction) link names in paper order.
+	Links []string
+	// Cells maps link name -> scheme -> cell.
+	Cells map[string]map[string]Cell
+}
+
+// RunMatrix executes every scheme over every canonical link (8 links ×
+// len(schemes) runs). Each scheme sees identical trace pairs.
+func RunMatrix(opt Options, schemes []string) (*Matrix, error) {
+	opt = opt.withDefaults()
+	if len(schemes) == 0 {
+		schemes = Schemes()
+	}
+	m := &Matrix{Options: opt, Cells: make(map[string]map[string]Cell)}
+	for _, pair := range trace.CanonicalNetworks() {
+		for _, dir := range []string{"down", "up"} {
+			name := LinkName(pair.Name, dir)
+			m.Links = append(m.Links, name)
+			data, fb := GenerateTracePair(pair, dir, opt.Duration, opt.Seed)
+			row := make(map[string]Cell, len(schemes))
+			for _, s := range schemes {
+				res, err := Run(Config{
+					Scheme:        s,
+					DataTrace:     data,
+					FeedbackTrace: fb,
+					Duration:      opt.Duration,
+					Skip:          opt.Skip,
+					Seed:          opt.Seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", s, name, err)
+				}
+				row[s] = toCell(res)
+			}
+			m.Cells[name] = row
+		}
+	}
+	return m, nil
+}
+
+func toCell(r Result) Cell {
+	return Cell{
+		Scheme:          r.Scheme,
+		ThroughputKbps:  r.ThroughputBps / 1000,
+		SelfInflictedMs: float64(r.SelfInflicted95) / float64(time.Millisecond),
+		Utilization:     r.Utilization,
+		MeanDelayMs:     float64(r.MeanDelay) / float64(time.Millisecond),
+	}
+}
+
+// SummaryRow is one line of the intro tables: a scheme's average speedup
+// and delay reduction relative to a reference scheme, averaged over the
+// eight links.
+type SummaryRow struct {
+	Scheme string
+	// AvgSpeedup is mean over links of ref_throughput/scheme_throughput
+	// ("Avg speedup vs <ref>").
+	AvgSpeedup float64
+	// DelayReduction is mean over links of scheme_delay/ref_delay
+	// ("Delay reduction").
+	DelayReduction float64
+	// AvgDelaySec is the scheme's own mean self-inflicted delay.
+	AvgDelaySec float64
+}
+
+// Summarize derives the intro-table rows from a matrix relative to ref.
+func (m *Matrix) Summarize(ref string, schemes []string) []SummaryRow {
+	var rows []SummaryRow
+	for _, s := range schemes {
+		var speedup, reduction, delay float64
+		n := 0
+		for _, l := range m.Links {
+			rc, ok1 := m.Cells[l][ref]
+			sc, ok2 := m.Cells[l][s]
+			if !ok1 || !ok2 || sc.ThroughputKbps == 0 || rc.SelfInflictedMs == 0 {
+				continue
+			}
+			speedup += rc.ThroughputKbps / sc.ThroughputKbps
+			reduction += sc.SelfInflictedMs / rc.SelfInflictedMs
+			delay += sc.SelfInflictedMs
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		rows = append(rows, SummaryRow{
+			Scheme:         s,
+			AvgSpeedup:     speedup / float64(n),
+			DelayReduction: reduction / float64(n),
+			AvgDelaySec:    delay / float64(n) / 1000,
+		})
+	}
+	return rows
+}
+
+// Fig8Row is one scheme's point in Figure 8: utilization vs delay averaged
+// over the eight links.
+type Fig8Row struct {
+	Scheme             string
+	AvgUtilizationPct  float64
+	AvgSelfInflictedMs float64
+}
+
+// Fig8 derives the average utilization/delay points from a matrix.
+func (m *Matrix) Fig8(schemes []string) []Fig8Row {
+	var rows []Fig8Row
+	for _, s := range schemes {
+		var util, delay float64
+		n := 0
+		for _, l := range m.Links {
+			c, ok := m.Cells[l][s]
+			if !ok {
+				continue
+			}
+			util += c.Utilization
+			delay += c.SelfInflictedMs
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		rows = append(rows, Fig8Row{
+			Scheme:             s,
+			AvgUtilizationPct:  util / float64(n) * 100,
+			AvgSelfInflictedMs: delay / float64(n),
+		})
+	}
+	return rows
+}
+
+// Fig9 runs the confidence-parameter sweep on the T-Mobile 3G uplink
+// (§5.5): Sprout at 95/75/50/25/5% confidence plus all baselines.
+func Fig9(opt Options) ([]Cell, error) {
+	opt = opt.withDefaults()
+	var pair trace.NetworkPair
+	for _, p := range trace.CanonicalNetworks() {
+		if strings.HasPrefix(p.Name, "T-Mobile") {
+			pair = p
+		}
+	}
+	data, fb := GenerateTracePair(pair, "up", opt.Duration, opt.Seed)
+	var cells []Cell
+	for _, conf := range []float64{0.95, 0.75, 0.50, 0.25, 0.05} {
+		res, err := Run(Config{
+			Scheme: "sprout", Confidence: conf,
+			DataTrace: data, FeedbackTrace: fb,
+			Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c := toCell(res)
+		c.Scheme = fmt.Sprintf("sprout-%d%%", int(conf*100))
+		cells = append(cells, c)
+	}
+	for _, s := range Schemes() {
+		if s == "sprout" {
+			continue
+		}
+		res, err := Run(Config{
+			Scheme: s, DataTrace: data, FeedbackTrace: fb,
+			Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, toCell(res))
+	}
+	return cells, nil
+}
+
+// LossRow is one line of the §5.6 loss-resilience table.
+type LossRow struct {
+	Direction       string
+	LossPct         int
+	ThroughputKbps  float64
+	SelfInflictedMs float64
+}
+
+// LossTable runs Sprout over the Verizon LTE trace pair with 0%, 5% and
+// 10% Bernoulli loss in each direction (§5.6).
+func LossTable(opt Options) ([]LossRow, error) {
+	opt = opt.withDefaults()
+	pair := trace.CanonicalNetworks()[0] // Verizon LTE
+	var rows []LossRow
+	for _, dir := range []string{"down", "up"} {
+		data, fb := GenerateTracePair(pair, dir, opt.Duration, opt.Seed)
+		for _, loss := range []float64{0, 0.05, 0.10} {
+			res, err := Run(Config{
+				Scheme: "sprout", LossRate: loss,
+				DataTrace: data, FeedbackTrace: fb,
+				Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, LossRow{
+				Direction:       map[string]string{"down": "Downlink", "up": "Uplink"}[dir],
+				LossPct:         int(loss * 100),
+				ThroughputKbps:  res.ThroughputBps / 1000,
+				SelfInflictedMs: float64(res.SelfInflicted95) / float64(time.Millisecond),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig1Point is one second of the Figure 1 timeseries.
+type Fig1Point struct {
+	Second        int
+	CapacityKbps  float64
+	SproutKbps    float64
+	SkypeKbps     float64
+	SproutDelayMs float64 // p95 of d(t) within the second
+	SkypeDelayMs  float64
+}
+
+// Fig1 reproduces the paper's opening figure: Skype and Sprout run over
+// the same Verizon LTE downlink trace; per-second throughput against
+// capacity, and the evolving end-to-end delay.
+func Fig1(opt Options) ([]Fig1Point, error) {
+	opt = opt.withDefaults()
+	pair := trace.CanonicalNetworks()[0]
+	data, fb := GenerateTracePair(pair, "down", opt.Duration, opt.Seed)
+	run := func(scheme string) ([]linkDelivery, error) {
+		cfg := Config{
+			Scheme: scheme, DataTrace: data, FeedbackTrace: fb,
+			Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
+		}.withDefaults()
+		dl, err := runCollect(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]linkDelivery, len(dl))
+		for i, d := range dl {
+			out[i] = linkDelivery{sent: d.SentAt, delivered: d.DeliveredAt, size: d.Size}
+		}
+		return out, nil
+	}
+	sprout, err := run("sprout")
+	if err != nil {
+		return nil, err
+	}
+	skype, err := run("skype")
+	if err != nil {
+		return nil, err
+	}
+	secs := int(opt.Duration / time.Second)
+	pts := make([]Fig1Point, 0, secs)
+	for s := 0; s < secs; s++ {
+		from := time.Duration(s) * time.Second
+		to := from + time.Second
+		pts = append(pts, Fig1Point{
+			Second:        s,
+			CapacityKbps:  float64(data.CapacityBits(from, to)) / 1000,
+			SproutKbps:    perSecondKbps(sprout, from, to),
+			SkypeKbps:     perSecondKbps(skype, from, to),
+			SproutDelayMs: perSecondDelayMs(sprout, from, to),
+			SkypeDelayMs:  perSecondDelayMs(skype, from, to),
+		})
+	}
+	return pts, nil
+}
+
+type linkDelivery struct {
+	sent, delivered time.Duration
+	size            int
+}
+
+func perSecondKbps(dl []linkDelivery, from, to time.Duration) float64 {
+	var bits int64
+	for _, d := range dl {
+		if d.delivered >= from && d.delivered < to {
+			bits += int64(d.size) * 8
+		}
+	}
+	return float64(bits) / (to - from).Seconds() / 1000
+}
+
+func perSecondDelayMs(dl []linkDelivery, from, to time.Duration) float64 {
+	var worst time.Duration
+	for _, d := range dl {
+		if d.delivered >= from && d.delivered < to {
+			if delay := d.delivered - d.sent; delay > worst {
+				worst = delay
+			}
+		}
+	}
+	return float64(worst) / float64(time.Millisecond)
+}
+
+// Fig2Data summarizes the saturated-link interarrival distribution
+// (Figure 2): quantiles, the fraction of interarrivals under 20 ms, and
+// the fitted power-law tail exponent.
+type Fig2Data struct {
+	Count         int
+	P50us         float64
+	P99us         float64
+	FracWithin20  float64 // fraction of interarrivals < 20 ms
+	TailExponent  float64 // fitted slope of log-density vs log-time
+	TailBinsUsed  int
+	MaxGapSeconds float64
+}
+
+// Fig2 generates a long saturated Verizon LTE downlink trace and fits its
+// interarrival distribution, reproducing the analysis behind Figure 2
+// (the paper fits t^-3.27 on its 1.2M-packet trace).
+func Fig2(opt Options) (Fig2Data, error) {
+	opt = opt.withDefaults()
+	model, _ := trace.CanonicalLink("Verizon-LTE-down")
+	// Longer than the experiment runs: Figure 2 is about distribution
+	// tails, which need samples.
+	tr := model.Generate(10*opt.Duration, rand.New(rand.NewSource(opt.Seed*7+3)))
+	gaps := tr.Interarrivals()
+	if len(gaps) == 0 {
+		return Fig2Data{}, fmt.Errorf("fig2: empty trace")
+	}
+	h := stats.NewLogHistogram(0.05, 10_000, 120) // 0.05 ms .. 10 s, log bins (ms)
+	var within20 int
+	var maxGap time.Duration
+	us := make([]float64, len(gaps))
+	for i, g := range gaps {
+		msF := float64(g) / float64(time.Millisecond)
+		h.Observe(msF)
+		if g < 20*time.Millisecond {
+			within20++
+		}
+		if g > maxGap {
+			maxGap = g
+		}
+		us[i] = float64(g) / float64(time.Microsecond)
+	}
+	qs := stats.Quantiles(us, 0.5, 0.99)
+	slope, used := h.PowerLawTailFit(20) // fit the >20 ms tail as the paper does
+	return Fig2Data{
+		Count:         len(gaps),
+		P50us:         qs[0],
+		P99us:         qs[1],
+		FracWithin20:  float64(within20) / float64(len(gaps)),
+		TailExponent:  slope,
+		TailBinsUsed:  used,
+		MaxGapSeconds: maxGap.Seconds(),
+	}, nil
+}
+
+// FormatCells renders cells as an aligned text table sorted by delay.
+func FormatCells(title string, cells []Cell) string {
+	sort.Slice(cells, func(i, j int) bool { return cells[i].SelfInflictedMs < cells[j].SelfInflictedMs })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-14s %12s %16s %6s\n", title, "scheme", "tput (kbps)", "self-delay (ms)", "util")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-14s %12.0f %16.0f %6.2f\n", c.Scheme, c.ThroughputKbps, c.SelfInflictedMs, c.Utilization)
+	}
+	return b.String()
+}
+
+// CellOf converts a single run's result into a table cell (exported for
+// cmd/sproutbench's custom-trace mode).
+func CellOf(r Result) Cell { return toCell(r) }

@@ -1,0 +1,207 @@
+package harness
+
+import (
+	"time"
+
+	"sprout/internal/app"
+	"sprout/internal/link"
+	"sprout/internal/metrics"
+	"sprout/internal/network"
+	"sprout/internal/sim"
+	"sprout/internal/tcp"
+	"sprout/internal/trace"
+	"sprout/internal/transport"
+	"sprout/internal/tunnel"
+)
+
+// TunnelResult is the §5.7 comparison: a TCP Cubic bulk download competing
+// with a Skype-model videoconference over the Verizon LTE downlink, run
+// directly on the link versus through SproutTunnel.
+type TunnelResult struct {
+	CubicKbpsDirect, CubicKbpsTunnel float64
+	SkypeKbpsDirect, SkypeKbpsTunnel float64
+	SkypeDelay95Direct               time.Duration
+	SkypeDelay95Tunnel               time.Duration
+	TunnelHeadDrops                  int64
+}
+
+// Client flow identifiers inside the shared link / tunnel.
+const (
+	flowCubic = 10
+	flowSkype = 20
+)
+
+// tunnelClientMSS is the client packet size inside the tunnel: the frame
+// header (26 B) plus the Sprout header (76 B) must fit the link MTU.
+const tunnelClientMSS = 1300
+
+// RunTunnelComparison executes both halves of the §5.7 experiment.
+func RunTunnelComparison(opt Options) (TunnelResult, error) {
+	opt = opt.withDefaults()
+	pair := trace.CanonicalNetworks()[0] // Verizon LTE
+	data, fb := GenerateTracePair(pair, "down", opt.Duration, opt.Seed)
+
+	var out TunnelResult
+	{
+		cubic, skype, skypeDelay := runDirectCompeting(opt, data, fb)
+		out.CubicKbpsDirect = cubic
+		out.SkypeKbpsDirect = skype
+		out.SkypeDelay95Direct = skypeDelay
+	}
+	{
+		cubic, skype, skypeDelay, drops := runTunneledCompeting(opt, data, fb)
+		out.CubicKbpsTunnel = cubic
+		out.SkypeKbpsTunnel = skype
+		out.SkypeDelay95Tunnel = skypeDelay
+		out.TunnelHeadDrops = drops
+	}
+	return out, nil
+}
+
+// runDirectCompeting shares one emulated downlink between a Cubic bulk
+// transfer and a Skype-model call, exactly as "Direct" in the paper's
+// table: both flows commingle in the same per-user queue.
+func runDirectCompeting(opt Options, data, fb *trace.Trace) (cubicKbps, skypeKbps float64, skypeDelay95 time.Duration) {
+	loop := sim.New()
+	var tcpRcv *tcp.Receiver
+	var tcpSnd *tcp.Sender
+	var skypeRcv *app.Receiver
+	var skypeSnd *app.Sender
+
+	fwd := link.New(loop, link.Config{
+		Trace: data, PropagationDelay: 20 * time.Millisecond,
+	}, func(p *network.Packet) {
+		switch p.Flow {
+		case flowCubic:
+			tcpRcv.Receive(p)
+		case flowSkype:
+			skypeRcv.Receive(p)
+		}
+	})
+	fwd.RecordDeliveries(true)
+	rev := link.New(loop, link.Config{
+		Trace: fb, PropagationDelay: 20 * time.Millisecond,
+	}, func(p *network.Packet) {
+		switch p.Flow {
+		case flowCubic:
+			tcpSnd.Receive(p)
+		case flowSkype:
+			skypeSnd.Receive(p)
+		}
+	})
+	tcpRcv = tcp.NewReceiver(flowCubic, loop, rev)
+	tcpSnd = tcp.NewSender(tcp.SenderConfig{Flow: flowCubic, Clock: loop, Conn: fwd, CC: tcp.NewCubic(loop.Now)})
+	skypeRcv = app.NewReceiver(flowSkype, app.Skype(), loop, rev)
+	skypeSnd = app.NewSender(flowSkype, app.Skype(), loop, fwd)
+
+	loop.Run(opt.Duration)
+	dl := fwd.Deliveries()
+	cubicKbps = metrics.Throughput(metrics.FilterFlow(dl, flowCubic), opt.Skip, opt.Duration) / 1000
+	skypeDl := metrics.FilterFlow(dl, flowSkype)
+	skypeKbps = metrics.Throughput(skypeDl, opt.Skip, opt.Duration) / 1000
+	skypeDelay95 = metrics.EndToEndDelay(skypeDl, opt.Skip, opt.Duration, 0.95)
+	return
+}
+
+// runTunneledCompeting carries both flows through SproutTunnel: one Sprout
+// session per direction, per-flow queues with round-robin service and
+// forecast-bounded head drops at the ingress (§4.3).
+func runTunneledCompeting(opt Options, data, fb *trace.Trace) (cubicKbps, skypeKbps float64, skypeDelay95 time.Duration, headDrops int64) {
+	loop := sim.New()
+
+	// Sprout session 1 carries client data A->B on the downlink trace;
+	// session 2 carries client feedback B->A on the uplink trace.
+	// The downlink also carries session 2's forecast packets, and the
+	// uplink session 1's; endpoints demux on the Sprout flow id.
+	const (
+		sessDown = 1
+		sessUp   = 2
+	)
+	var rcvDown, rcvUp *transport.Receiver
+	var sndDown, sndUp *transport.Sender
+
+	fwd := link.New(loop, link.Config{
+		Trace: data, PropagationDelay: 20 * time.Millisecond,
+	}, func(p *network.Packet) {
+		switch p.Flow {
+		case sessDown:
+			rcvDown.Receive(p)
+		case sessUp:
+			sndUp.Receive(p)
+		}
+	})
+	rev := link.New(loop, link.Config{
+		Trace: fb, PropagationDelay: 20 * time.Millisecond,
+	}, func(p *network.Packet) {
+		switch p.Flow {
+		case sessDown:
+			sndDown.Receive(p)
+		case sessUp:
+			rcvUp.Receive(p)
+		}
+	})
+
+	ingressDown := tunnel.NewIngress() // at A, feeds sessDown
+	ingressUp := tunnel.NewIngress()   // at B, feeds sessUp
+
+	// Client endpoints: Cubic bulk + Skype call, A -> B.
+	var tcpRcv *tcp.Receiver
+	var tcpSnd *tcp.Sender
+	var skypeRcv *app.Receiver
+	var skypeSnd *app.Sender
+
+	egressDown := tunnel.NewEgress(loop, func(p *network.Packet) {
+		switch p.Flow {
+		case flowCubic:
+			tcpRcv.Receive(p)
+		case flowSkype:
+			skypeRcv.Receive(p)
+		}
+	})
+	egressDown.RecordDeliveries(true)
+	egressUp := tunnel.NewEgress(loop, func(p *network.Packet) {
+		switch p.Flow {
+		case flowCubic:
+			tcpSnd.Receive(p)
+		case flowSkype:
+			skypeSnd.Receive(p)
+		}
+	})
+
+	rcvDown = transport.NewReceiver(transport.ReceiverConfig{
+		Flow: sessDown, Clock: loop, Conn: rev, Deliver: egressDown.Deliver,
+	})
+	sndDown = transport.NewSender(transport.SenderConfig{
+		Flow: sessDown, Clock: loop, Conn: fwd, Source: ingressDown,
+	})
+	ingressDown.Bind(sndDown)
+	rcvUp = transport.NewReceiver(transport.ReceiverConfig{
+		Flow: sessUp, Clock: loop, Conn: fwd, Deliver: egressUp.Deliver,
+	})
+	sndUp = transport.NewSender(transport.SenderConfig{
+		Flow: sessUp, Clock: loop, Conn: rev, Source: ingressUp,
+	})
+	ingressUp.Bind(sndUp)
+
+	submitDown := transport.ConnFunc(func(p *network.Packet) { ingressDown.Submit(p) })
+	submitUp := transport.ConnFunc(func(p *network.Packet) { ingressUp.Submit(p) })
+
+	tcpRcv = tcp.NewReceiver(flowCubic, loop, submitUp)
+	tcpSnd = tcp.NewSender(tcp.SenderConfig{
+		Flow: flowCubic, Clock: loop, Conn: submitDown,
+		CC: tcp.NewCubic(loop.Now), MSS: tunnelClientMSS,
+	})
+	skypeProfile := app.Skype()
+	skypeProfile.PacketSize = tunnelClientMSS
+	skypeRcv = app.NewReceiver(flowSkype, skypeProfile, loop, submitUp)
+	skypeSnd = app.NewSender(flowSkype, skypeProfile, loop, submitDown)
+
+	loop.Run(opt.Duration)
+	dl := egressDown.Deliveries()
+	cubicKbps = metrics.Throughput(metrics.FilterFlow(dl, flowCubic), opt.Skip, opt.Duration) / 1000
+	skypeDl := metrics.FilterFlow(dl, flowSkype)
+	skypeKbps = metrics.Throughput(skypeDl, opt.Skip, opt.Duration) / 1000
+	skypeDelay95 = metrics.EndToEndDelay(skypeDl, opt.Skip, opt.Duration, 0.95)
+	headDrops = ingressDown.HeadDrops()
+	return
+}

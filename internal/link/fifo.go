@@ -1,0 +1,43 @@
+package link
+
+import "sprout/internal/network"
+
+// FIFO is the bottleneck queue of an emulated link: a first-in first-out
+// packet queue with byte accounting. Cellular base stations in the paper
+// maintain one deep FIFO per user (§2.1); this is that queue.
+type FIFO struct {
+	q     []*network.Packet
+	bytes int
+}
+
+// Len returns the number of queued packets.
+func (f *FIFO) Len() int { return len(f.q) }
+
+// Bytes returns the number of queued bytes.
+func (f *FIFO) Bytes() int { return f.bytes }
+
+// Push appends a packet to the tail.
+func (f *FIFO) Push(p *network.Packet) {
+	f.q = append(f.q, p)
+	f.bytes += p.Size
+}
+
+// Head returns the packet at the head without removing it, or nil.
+func (f *FIFO) Head() *network.Packet {
+	if len(f.q) == 0 {
+		return nil
+	}
+	return f.q[0]
+}
+
+// Pop removes and returns the head packet, or nil.
+func (f *FIFO) Pop() *network.Packet {
+	if len(f.q) == 0 {
+		return nil
+	}
+	p := f.q[0]
+	f.q[0] = nil
+	f.q = f.q[1:]
+	f.bytes -= p.Size
+	return p
+}

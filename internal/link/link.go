@@ -1,0 +1,234 @@
+// Package link emulates one direction of a cellular access link, faithfully
+// implementing the Cellsim semantics of the paper (§4.2):
+//
+//   - each arriving packet is delayed by the propagation delay, then
+//     appended to the tail of a FIFO queue;
+//   - the queue drains only at the delivery opportunities recorded in a
+//     trace, each worth MTU (1500) bytes with per-byte accounting
+//     (footnote 6: fifteen 100-byte packets leave on one opportunity);
+//   - an opportunity that finds the queue empty is wasted;
+//   - optionally, arriving packets are dropped with a fixed probability
+//     (the stochastic-loss mode of §5.6), or the queue is governed by an
+//     AQM such as CoDel consulted at dequeue time (§5.4).
+package link
+
+import (
+	"math/rand"
+	"time"
+
+	"sprout/internal/network"
+	"sprout/internal/sim"
+	"sprout/internal/trace"
+)
+
+// Dequeuer selects the next packet to transmit from the bottleneck queue.
+// Implementations may drop packets by popping and discarding them (CoDel
+// drops at the head). The default is plain FIFO order.
+type Dequeuer interface {
+	// Next pops the next packet to transmit, or returns nil if the queue
+	// is (effectively) empty. now is the current virtual time.
+	Next(now time.Duration, q *FIFO) *network.Packet
+}
+
+// DropTail is the default Dequeuer: plain FIFO with no AQM.
+type DropTail struct{}
+
+// Next implements Dequeuer.
+func (DropTail) Next(_ time.Duration, q *FIFO) *network.Packet { return q.Pop() }
+
+// Delivery records one packet delivered by the link, for metrics.
+type Delivery struct {
+	SentAt      time.Duration
+	DeliveredAt time.Duration
+	Size        int
+	Seq         int64
+	Flow        uint32
+}
+
+// Config parameterizes a Link.
+type Config struct {
+	// Trace supplies the delivery opportunities. Required. If the
+	// experiment outlasts the trace, the trace repeats from its start
+	// (mahimahi behaviour).
+	Trace *trace.Trace
+	// PropagationDelay is applied to each packet before it joins the
+	// queue. The paper measures ≈20 ms each way on its cellular paths.
+	PropagationDelay time.Duration
+	// LossRate, if positive, drops each arriving packet with this
+	// probability before it joins the queue (§5.6).
+	LossRate float64
+	// QueueBytes, if positive, bounds the queue; packets arriving to a
+	// full queue are dropped (tail drop). Zero means unbounded
+	// ("bufferbloated" base station).
+	QueueBytes int
+	// Dequeuer selects packets at transmission time; nil means DropTail.
+	Dequeuer Dequeuer
+	// Rand is the randomness source for loss; required if LossRate > 0.
+	Rand *rand.Rand
+}
+
+// Link is one direction of an emulated cellular path.
+type Link struct {
+	cfg      Config
+	clock    sim.Clock
+	queue    FIFO
+	deq      Dequeuer
+	deliver  network.Handler
+	nextOp   int           // index into trace opportunities
+	wrapBase time.Duration // accumulated offset from trace repetition
+
+	// Telemetry.
+	deliveries     []Delivery
+	recordLog      bool
+	delivered      int64 // bytes
+	dropsLoss      int64 // packets dropped by random loss
+	dropsQueue     int64 // packets dropped by the queue bound
+	dropsAQM       int64 // packets dropped by the AQM
+	wasted         int64 // opportunities that found an empty queue
+	inTransmission *partial
+}
+
+type partial struct {
+	pkt  *network.Packet
+	sent int // bytes already transmitted
+}
+
+// New creates a link on the given clock and starts its delivery schedule.
+// deliver is invoked, at the instant each packet fully crosses the link,
+// with the delivered packet. The clock may be a virtual-time sim.Loop or
+// the wall-clock adapter in internal/realtime.
+func New(clock sim.Clock, cfg Config, deliver network.Handler) *Link {
+	if cfg.Trace == nil || cfg.Trace.Count() == 0 {
+		panic("link: config requires a non-empty trace")
+	}
+	if cfg.LossRate > 0 && cfg.Rand == nil {
+		panic("link: LossRate requires a Rand source")
+	}
+	deq := cfg.Dequeuer
+	if deq == nil {
+		deq = DropTail{}
+	}
+	l := &Link{cfg: cfg, clock: clock, deq: deq, deliver: deliver}
+	l.scheduleNextOpportunity()
+	return l
+}
+
+// RecordDeliveries turns on the per-packet delivery log (used by metrics).
+func (l *Link) RecordDeliveries(on bool) { l.recordLog = on }
+
+// Deliveries returns the recorded delivery log.
+func (l *Link) Deliveries() []Delivery { return l.deliveries }
+
+// DeliveredBytes returns the total bytes delivered so far.
+func (l *Link) DeliveredBytes() int64 { return l.delivered }
+
+// Drops returns packet drop counts by cause (random loss, queue overflow,
+// AQM decision).
+func (l *Link) Drops() (loss, queue, aqm int64) {
+	return l.dropsLoss, l.dropsQueue, l.dropsAQM
+}
+
+// WastedOpportunities returns how many delivery opportunities found an
+// empty queue.
+func (l *Link) WastedOpportunities() int64 { return l.wasted }
+
+// QueueBytes returns the current queue occupancy in bytes (including any
+// partially transmitted packet's untransmitted remainder).
+func (l *Link) QueueBytes() int {
+	b := l.queue.Bytes()
+	if l.inTransmission != nil {
+		b += l.inTransmission.pkt.Size - l.inTransmission.sent
+	}
+	return b
+}
+
+// QueueLen returns the number of fully queued packets.
+func (l *Link) QueueLen() int { return l.queue.Len() }
+
+// Send submits a packet to the link at the current virtual time. The packet
+// experiences the propagation delay, then joins the queue.
+func (l *Link) Send(pkt *network.Packet) {
+	l.clock.After(l.cfg.PropagationDelay, func() { l.enqueue(pkt) })
+}
+
+func (l *Link) enqueue(pkt *network.Packet) {
+	if l.cfg.LossRate > 0 && l.cfg.Rand.Float64() < l.cfg.LossRate {
+		l.dropsLoss++
+		return
+	}
+	if l.cfg.QueueBytes > 0 && l.QueueBytes()+pkt.Size > l.cfg.QueueBytes {
+		l.dropsQueue++
+		return
+	}
+	pkt.EnqueuedAt = l.clock.Now()
+	l.queue.Push(pkt)
+}
+
+func (l *Link) scheduleNextOpportunity() {
+	ops := l.cfg.Trace.Opportunities
+	if l.nextOp >= len(ops) {
+		// Repeat the trace, shifting by its duration (mahimahi
+		// semantics). Guard against zero-duration traces.
+		d := l.cfg.Trace.Duration()
+		if d <= 0 {
+			return
+		}
+		l.wrapBase += d
+		l.nextOp = 0
+		// Skip a zero-time first opportunity on wrap so time advances.
+		if ops[0] == 0 && len(ops) > 1 {
+			l.nextOp = 1
+		}
+	}
+	at := l.wrapBase + ops[l.nextOp]
+	l.nextOp++
+	l.clock.After(at-l.clock.Now(), l.opportunity)
+}
+
+// opportunity releases up to MTU bytes from the queue (per-byte accounting).
+func (l *Link) opportunity() {
+	defer l.scheduleNextOpportunity()
+	budget := network.MTU
+	now := l.clock.Now()
+	progress := false
+	for budget > 0 {
+		if l.inTransmission == nil {
+			before := l.queue.Len()
+			pkt := l.deq.Next(now, &l.queue)
+			popped := before - l.queue.Len()
+			if pkt == nil {
+				l.dropsAQM += int64(popped)
+				break
+			}
+			l.dropsAQM += int64(popped - 1)
+			l.inTransmission = &partial{pkt: pkt}
+		}
+		p := l.inTransmission
+		need := p.pkt.Size - p.sent
+		if need > budget {
+			p.sent += budget
+			budget = 0
+			progress = true
+			break
+		}
+		budget -= need
+		l.inTransmission = nil
+		l.delivered += int64(p.pkt.Size)
+		progress = true
+		if l.recordLog {
+			l.deliveries = append(l.deliveries, Delivery{
+				SentAt:      p.pkt.SentAt,
+				DeliveredAt: now,
+				Size:        p.pkt.Size,
+				Seq:         p.pkt.Seq,
+				Flow:        p.pkt.Flow,
+			})
+		}
+		if l.deliver != nil {
+			l.deliver(p.pkt)
+		}
+	}
+	if !progress {
+		l.wasted++
+	}
+}

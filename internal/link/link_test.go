@@ -1,0 +1,256 @@
+package link
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sprout/internal/network"
+	"sprout/internal/sim"
+	"sprout/internal/trace"
+)
+
+func mkTrace(ops ...time.Duration) *trace.Trace {
+	return &trace.Trace{Name: "test", Opportunities: ops}
+}
+
+func pkt(size int, seq int64) *network.Packet {
+	return &network.Packet{Seq: seq, Size: size, SentAt: 0}
+}
+
+func TestFIFO(t *testing.T) {
+	var f FIFO
+	if f.Pop() != nil || f.Head() != nil {
+		t.Error("empty FIFO should return nil")
+	}
+	a, b := pkt(100, 1), pkt(200, 2)
+	f.Push(a)
+	f.Push(b)
+	if f.Len() != 2 || f.Bytes() != 300 {
+		t.Errorf("Len=%d Bytes=%d, want 2/300", f.Len(), f.Bytes())
+	}
+	if f.Head() != a {
+		t.Error("Head should be first pushed")
+	}
+	if f.Pop() != a || f.Pop() != b || f.Pop() != nil {
+		t.Error("Pop order wrong")
+	}
+	if f.Bytes() != 0 {
+		t.Errorf("Bytes=%d after drain", f.Bytes())
+	}
+}
+
+func TestLinkDeliversAtOpportunity(t *testing.T) {
+	loop := sim.New()
+	var got []time.Duration
+	l := New(loop, Config{
+		Trace:            mkTrace(10*time.Millisecond, 30*time.Millisecond),
+		PropagationDelay: 5 * time.Millisecond,
+	}, func(p *network.Packet) { got = append(got, loop.Now()) })
+	p := pkt(network.MTU, 1)
+	p.SentAt = loop.Now()
+	l.Send(p) // enqueued at 5ms, delivered at 10ms opportunity
+	loop.Run(50 * time.Millisecond)
+	if len(got) != 1 || got[0] != 10*time.Millisecond {
+		t.Errorf("deliveries = %v, want [10ms]", got)
+	}
+}
+
+func TestLinkWaitsForEnqueue(t *testing.T) {
+	loop := sim.New()
+	var got []time.Duration
+	l := New(loop, Config{
+		Trace:            mkTrace(10*time.Millisecond, 30*time.Millisecond),
+		PropagationDelay: 15 * time.Millisecond,
+	}, func(p *network.Packet) { got = append(got, loop.Now()) })
+	l.Send(pkt(network.MTU, 1)) // enqueued at 15ms, misses 10ms opportunity
+	loop.Run(35 * time.Millisecond)
+	if len(got) != 1 || got[0] != 30*time.Millisecond {
+		t.Errorf("deliveries = %v, want [30ms]", got)
+	}
+	if l.WastedOpportunities() != 1 {
+		t.Errorf("wasted = %d, want 1", l.WastedOpportunities())
+	}
+}
+
+func TestLinkPerByteAccounting(t *testing.T) {
+	// Fifteen 100-byte packets all leave on a single MTU opportunity
+	// (paper footnote 6).
+	loop := sim.New()
+	n := 0
+	l := New(loop, Config{Trace: mkTrace(10 * time.Millisecond)},
+		func(p *network.Packet) { n++ })
+	for i := 0; i < 15; i++ {
+		l.Send(pkt(100, int64(i)))
+	}
+	loop.Run(15 * time.Millisecond)
+	if n != 15 {
+		t.Errorf("delivered %d packets on one opportunity, want 15", n)
+	}
+}
+
+func TestLinkPartialTransmission(t *testing.T) {
+	// A 1500-byte packet behind a 1000-byte packet: opportunity 1 sends
+	// the 1000B packet and 500B of the MTU packet; opportunity 2
+	// completes it.
+	loop := sim.New()
+	var got []struct {
+		seq int64
+		at  time.Duration
+	}
+	l := New(loop, Config{Trace: mkTrace(10*time.Millisecond, 20*time.Millisecond)},
+		func(p *network.Packet) {
+			got = append(got, struct {
+				seq int64
+				at  time.Duration
+			}{p.Seq, loop.Now()})
+		})
+	l.Send(pkt(1000, 1))
+	l.Send(pkt(network.MTU, 2))
+	loop.Run(30 * time.Millisecond)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(got))
+	}
+	if got[0].seq != 1 || got[0].at != 10*time.Millisecond {
+		t.Errorf("first delivery = %+v", got[0])
+	}
+	if got[1].seq != 2 || got[1].at != 20*time.Millisecond {
+		t.Errorf("second delivery = %+v (partial transmission should complete on 2nd opportunity)", got[1])
+	}
+}
+
+func TestLinkWastedOpportunityDoesNotBank(t *testing.T) {
+	// An opportunity with an empty queue is wasted: a packet arriving
+	// later still waits for the next opportunity.
+	loop := sim.New()
+	var at time.Duration
+	l := New(loop, Config{Trace: mkTrace(10*time.Millisecond, 40*time.Millisecond)},
+		func(p *network.Packet) { at = loop.Now() })
+	loop.After(20*time.Millisecond, func() { l.enqueue(pkt(network.MTU, 1)) })
+	loop.Run(45 * time.Millisecond)
+	if at != 40*time.Millisecond {
+		t.Errorf("delivered at %v, want 40ms", at)
+	}
+	if l.WastedOpportunities() != 1 {
+		t.Errorf("wasted = %d, want 1", l.WastedOpportunities())
+	}
+}
+
+func TestLinkTraceRepeats(t *testing.T) {
+	loop := sim.New()
+	var got []time.Duration
+	l := New(loop, Config{Trace: mkTrace(0, 10*time.Millisecond, 20*time.Millisecond)},
+		func(p *network.Packet) { got = append(got, loop.Now()) })
+	// Packet enqueued at 25ms: first wrap gives opportunities at
+	// 30ms (=20+10) and 40ms.
+	loop.After(25*time.Millisecond, func() { l.enqueue(pkt(network.MTU, 1)) })
+	loop.After(35*time.Millisecond, func() { l.enqueue(pkt(network.MTU, 2)) })
+	loop.Run(60 * time.Millisecond)
+	if len(got) != 2 || got[0] != 30*time.Millisecond || got[1] != 40*time.Millisecond {
+		t.Errorf("deliveries = %v, want [30ms 40ms]", got)
+	}
+}
+
+func TestLinkLoss(t *testing.T) {
+	loop := sim.New()
+	n := 0
+	l := New(loop, Config{
+		Trace:    mkTrace(times(1000, time.Millisecond)...),
+		LossRate: 0.5,
+		Rand:     rand.New(rand.NewSource(1)),
+	}, func(p *network.Packet) { n++ })
+	for i := 0; i < 1000; i++ {
+		l.Send(pkt(network.MTU, int64(i)))
+	}
+	loop.Run(2 * time.Second)
+	loss, _, _ := l.Drops()
+	if loss < 400 || loss > 600 {
+		t.Errorf("loss drops = %d, want ~500", loss)
+	}
+	if n+int(loss) != 1000 {
+		t.Errorf("delivered %d + dropped %d != 1000", n, loss)
+	}
+}
+
+func TestLinkQueueBound(t *testing.T) {
+	loop := sim.New()
+	l := New(loop, Config{
+		Trace:      mkTrace(time.Second),
+		QueueBytes: 3 * network.MTU,
+	}, nil)
+	for i := 0; i < 10; i++ {
+		l.Send(pkt(network.MTU, int64(i)))
+	}
+	loop.Run(500 * time.Millisecond)
+	_, qdrops, _ := l.Drops()
+	if qdrops != 7 {
+		t.Errorf("queue drops = %d, want 7", qdrops)
+	}
+	if l.QueueBytes() != 3*network.MTU {
+		t.Errorf("QueueBytes = %d, want %d", l.QueueBytes(), 3*network.MTU)
+	}
+}
+
+func TestLinkDeliveryLog(t *testing.T) {
+	loop := sim.New()
+	l := New(loop, Config{
+		Trace:            mkTrace(10 * time.Millisecond),
+		PropagationDelay: 2 * time.Millisecond,
+	}, nil)
+	l.RecordDeliveries(true)
+	p := pkt(network.MTU, 42)
+	p.SentAt = loop.Now()
+	p.Flow = 7
+	l.Send(p)
+	loop.Run(20 * time.Millisecond)
+	log := l.Deliveries()
+	if len(log) != 1 {
+		t.Fatalf("log length = %d", len(log))
+	}
+	d := log[0]
+	if d.Seq != 42 || d.Flow != 7 || d.SentAt != 0 || d.DeliveredAt != 10*time.Millisecond || d.Size != network.MTU {
+		t.Errorf("delivery = %+v", d)
+	}
+	if l.DeliveredBytes() != network.MTU {
+		t.Errorf("DeliveredBytes = %d", l.DeliveredBytes())
+	}
+}
+
+func TestLinkQueueOccupancyWithPartial(t *testing.T) {
+	loop := sim.New()
+	l := New(loop, Config{Trace: mkTrace(10*time.Millisecond, 50*time.Millisecond)}, nil)
+	l.Send(pkt(1000, 1))
+	l.Send(pkt(network.MTU, 2))
+	loop.Run(20 * time.Millisecond)
+	// After the first opportunity: packet 1 gone, packet 2 sent 500 of
+	// 1500 bytes.
+	if got := l.QueueBytes(); got != 1000 {
+		t.Errorf("QueueBytes = %d, want 1000 (remaining of partial)", got)
+	}
+}
+
+func times(n int, step time.Duration) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(i+1) * step
+	}
+	return out
+}
+
+func TestLinkPanicsWithoutTrace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for missing trace")
+		}
+	}()
+	New(sim.New(), Config{}, nil)
+}
+
+func TestLinkPanicsLossWithoutRand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for loss without rand")
+		}
+	}()
+	New(sim.New(), Config{Trace: mkTrace(time.Millisecond), LossRate: 0.1}, nil)
+}

@@ -1,0 +1,83 @@
+// Package realtime provides a wall-clock implementation of sim.Clock, so
+// the protocol endpoints and the Cellsim link emulation — written once
+// against the Clock interface — also run live: over real UDP sockets
+// (cmd/sproutcat) or as a real-time trace-driven relay (cmd/cellsim).
+//
+// The simulation endpoints are single-threaded by construction; in real
+// time, timer callbacks and socket reads arrive on arbitrary goroutines.
+// The Clock therefore serializes everything through one mutex: timer
+// callbacks acquire it automatically, and external events (socket reads,
+// stdin) must enter through Do.
+package realtime
+
+import (
+	"sync"
+	"time"
+
+	"sprout/internal/sim"
+)
+
+// Clock is a wall-clock sim.Clock. Create with New.
+type Clock struct {
+	mu    sync.Mutex
+	start time.Time
+}
+
+// New returns a Clock whose Now counts from the moment of creation.
+func New() *Clock {
+	return &Clock{start: time.Now()}
+}
+
+// Now implements sim.Clock.
+func (c *Clock) Now() time.Duration { return time.Since(c.start) }
+
+// Do runs fn holding the clock's serialization lock. All interaction with
+// endpoints driven by this clock (packet receipt, application writes) must
+// go through Do so it cannot race with timer callbacks.
+func (c *Clock) Do(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn()
+}
+
+// After implements sim.Clock: fn runs on the serialization lock after d.
+func (c *Clock) After(d time.Duration, fn func()) sim.Timer {
+	if d < 0 {
+		d = 0
+	}
+	rt := &rtTimer{}
+	rt.t = time.AfterFunc(d, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		rt.mu.Lock()
+		if rt.stopped {
+			rt.mu.Unlock()
+			return
+		}
+		rt.fired = true
+		rt.mu.Unlock()
+		fn()
+	})
+	return rt
+}
+
+type rtTimer struct {
+	mu      sync.Mutex
+	t       *time.Timer
+	stopped bool
+	fired   bool
+}
+
+// Stop implements sim.Timer.
+func (t *rtTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped || t.fired {
+		return false
+	}
+	t.stopped = true
+	t.t.Stop()
+	return true
+}
+
+var _ sim.Clock = (*Clock)(nil)

@@ -1,0 +1,162 @@
+// Package sim provides a deterministic discrete-event simulation loop with
+// a virtual clock. All of the trace-driven experiments in this repository
+// run inside a sim.Loop, which replaces the real-time Cellsim PC of the
+// paper's testbed (§4.2) with reproducible virtual time.
+//
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-break), which makes every experiment byte-for-byte
+// reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Clock exposes the current virtual time and lets components schedule
+// callbacks. Both the simulation loop and the real-time adapter in
+// internal/realtime implement it, so protocol endpoints are written once
+// and run in either world.
+type Clock interface {
+	// Now returns the time elapsed since the start of the run.
+	Now() time.Duration
+	// After schedules fn to run once, d from now. A non-positive d runs
+	// fn at the current instant (but not synchronously). It returns a
+	// handle that can cancel the callback.
+	After(d time.Duration, fn func()) Timer
+}
+
+// Timer is a handle to a scheduled callback. The virtual-time loop and the
+// real-time clock in internal/realtime each provide an implementation.
+type Timer interface {
+	// Stop cancels the callback if it has not fired yet. It reports
+	// whether the call prevented the callback from firing.
+	Stop() bool
+}
+
+// loopTimer is the Loop's Timer implementation.
+type loopTimer struct {
+	ev *event
+}
+
+func (t *loopTimer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64 // FIFO tie-break for equal times
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Loop is a discrete-event simulation loop. The zero value is ready to use.
+type Loop struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+}
+
+// New returns a Loop starting at virtual time zero.
+func New() *Loop { return &Loop{} }
+
+// Now returns the current virtual time.
+func (l *Loop) Now() time.Duration { return l.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// fires the event at the current time instead (events never run backward).
+func (l *Loop) At(t time.Duration, fn func()) Timer {
+	if t < l.now {
+		t = l.now
+	}
+	ev := &event{at: t, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.events, ev)
+	return &loopTimer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (l *Loop) After(d time.Duration, fn func()) Timer {
+	return l.At(l.now+d, fn)
+}
+
+// Step runs the single earliest pending event, advancing the clock to its
+// time. It reports whether an event was run.
+func (l *Loop) Step() bool {
+	for l.events.Len() > 0 {
+		ev := heap.Pop(&l.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		l.now = ev.at
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in order until the event queue is empty or the next
+// event is later than until. The clock finishes at until (or at the last
+// event time if that is later — it never rewinds).
+func (l *Loop) Run(until time.Duration) {
+	for l.events.Len() > 0 {
+		next := l.events[0]
+		if next.cancelled {
+			heap.Pop(&l.events)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		l.Step()
+	}
+	if until > l.now {
+		l.now = until
+	}
+}
+
+// Pending returns the number of scheduled (uncancelled) events.
+func (l *Loop) Pending() int {
+	n := 0
+	for _, ev := range l.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}

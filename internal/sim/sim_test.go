@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLoopOrdering(t *testing.T) {
+	l := New()
+	var order []int
+	l.After(30*time.Millisecond, func() { order = append(order, 3) })
+	l.After(10*time.Millisecond, func() { order = append(order, 1) })
+	l.After(20*time.Millisecond, func() { order = append(order, 2) })
+	l.Run(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestLoopFIFOTieBreak(t *testing.T) {
+	l := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	l.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestLoopClockAdvances(t *testing.T) {
+	l := New()
+	var at time.Duration
+	l.After(50*time.Millisecond, func() { at = l.Now() })
+	l.Run(time.Second)
+	if at != 50*time.Millisecond {
+		t.Errorf("event saw Now = %v, want 50ms", at)
+	}
+	if l.Now() != time.Second {
+		t.Errorf("final Now = %v, want 1s", l.Now())
+	}
+}
+
+func TestLoopRunStopsAtUntil(t *testing.T) {
+	l := New()
+	fired := false
+	l.After(2*time.Second, func() { fired = true })
+	l.Run(time.Second)
+	if fired {
+		t.Error("event beyond until fired")
+	}
+	l.Run(3 * time.Second)
+	if !fired {
+		t.Error("event did not fire on later Run")
+	}
+}
+
+func TestLoopNestedScheduling(t *testing.T) {
+	l := New()
+	var times []time.Duration
+	var tick func()
+	tick = func() {
+		times = append(times, l.Now())
+		if len(times) < 5 {
+			l.After(20*time.Millisecond, tick)
+		}
+	}
+	l.After(0, tick)
+	l.Run(time.Second)
+	if len(times) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(times))
+	}
+	for i, ts := range times {
+		want := time.Duration(i) * 20 * time.Millisecond
+		if ts != want {
+			t.Errorf("tick %d at %v, want %v", i, ts, want)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	l := New()
+	fired := false
+	tm := l.After(10*time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("Stop returned false on pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop returned true")
+	}
+	l.Run(time.Second)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	l := New()
+	tm := l.After(0, func() {})
+	l.Run(time.Second)
+	if tm.Stop() {
+		t.Error("Stop after fire returned true")
+	}
+}
+
+func TestSchedulingInPastClamps(t *testing.T) {
+	l := New()
+	var at time.Duration
+	l.After(100*time.Millisecond, func() {
+		l.At(10*time.Millisecond, func() { at = l.Now() }) // in the past
+	})
+	l.Run(time.Second)
+	if at != 100*time.Millisecond {
+		t.Errorf("past event ran at %v, want clamped to 100ms", at)
+	}
+}
+
+func TestPending(t *testing.T) {
+	l := New()
+	a := l.After(time.Millisecond, func() {})
+	l.After(time.Millisecond, func() {})
+	if got := l.Pending(); got != 2 {
+		t.Errorf("Pending = %d, want 2", got)
+	}
+	a.Stop()
+	if got := l.Pending(); got != 1 {
+		t.Errorf("Pending = %d, want 1", got)
+	}
+}
+
+func TestStep(t *testing.T) {
+	l := New()
+	n := 0
+	l.After(time.Millisecond, func() { n++ })
+	l.After(2*time.Millisecond, func() { n++ })
+	if !l.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !l.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if l.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func BenchmarkLoopThroughput(b *testing.B) {
+	l := New()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			l.After(time.Microsecond, tick)
+		}
+	}
+	l.After(0, tick)
+	b.ResetTimer()
+	l.Run(time.Duration(b.N+1) * time.Microsecond)
+}

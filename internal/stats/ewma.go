@@ -1,0 +1,40 @@
+package stats
+
+// EWMA is an exponentially weighted moving average with a fixed gain,
+// used by Sprout-EWMA's rate tracker (paper §5.3) and by the TCP substrate
+// for smoothed RTT estimation. The zero value is unusable; construct with
+// NewEWMA.
+type EWMA struct {
+	gain   float64
+	value  float64
+	primed bool
+}
+
+// NewEWMA returns an EWMA with the given gain in (0, 1]. The first
+// observation seeds the average directly.
+func NewEWMA(gain float64) *EWMA {
+	if gain <= 0 || gain > 1 {
+		panic("stats: EWMA gain must be in (0, 1]")
+	}
+	return &EWMA{gain: gain}
+}
+
+// Observe folds a new sample into the average and returns the new value.
+func (e *EWMA) Observe(x float64) float64 {
+	if !e.primed {
+		e.value = x
+		e.primed = true
+		return x
+	}
+	e.value += e.gain * (x - e.value)
+	return e.value
+}
+
+// Value returns the current average, or 0 if no sample has been observed.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Primed reports whether at least one sample has been observed.
+func (e *EWMA) Primed() bool { return e.primed }
+
+// Reset clears the average back to its unprimed state.
+func (e *EWMA) Reset() { e.value, e.primed = 0, false }

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-quantile (p in [0,1]) of the given sample using
+// linear interpolation between order statistics. It copies and sorts the
+// input. An empty sample returns NaN.
+func Percentile(sample []float64, p float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Segment is one piece of a piecewise-linear function of time: over a span
+// of duration Width (seconds), the function rises linearly from Start to
+// Start+Width. Sprout's end-to-end delay metric is exactly this shape: at
+// each packet arrival the delay resets to that packet's delay, then grows at
+// 1 s/s until the next arrival (paper §5.1, footnote 7).
+type Segment struct {
+	Start float64 // function value at the beginning of the segment (seconds)
+	Width float64 // duration of the segment (seconds); value ends at Start+Width
+}
+
+// SegmentPercentile returns the p-quantile (p in [0,1]) of the value of a
+// piecewise-linear sawtooth function, weighted by time. Each segment
+// contributes a uniform distribution on [Start, Start+Width] with weight
+// Width. Zero-width segments are ignored. Returns NaN if total width is 0.
+func SegmentPercentile(segs []Segment, p float64) float64 {
+	var total float64
+	var lo, hi float64
+	first := true
+	for _, s := range segs {
+		if s.Width <= 0 {
+			continue
+		}
+		total += s.Width
+		if first || s.Start < lo {
+			lo = s.Start
+		}
+		end := s.Start + s.Width
+		if first || end > hi {
+			hi = end
+		}
+		first = false
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return lo
+	}
+	if p >= 1 {
+		return hi
+	}
+	target := p * total
+	// measureBelow(x) = total time during which value <= x.
+	measureBelow := func(x float64) float64 {
+		var m float64
+		for _, s := range segs {
+			if s.Width <= 0 {
+				continue
+			}
+			switch {
+			case x <= s.Start:
+				// nothing
+			case x >= s.Start+s.Width:
+				m += s.Width
+			default:
+				m += x - s.Start
+			}
+		}
+		return m
+	}
+	// Bisection on x; the measure is continuous and nondecreasing.
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if measureBelow(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-9 {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// SegmentMean returns the time-weighted mean of a piecewise-linear sawtooth
+// function. Each segment contributes mean value Start+Width/2 with weight
+// Width. Returns NaN if total width is 0.
+func SegmentMean(segs []Segment) float64 {
+	var total, acc float64
+	for _, s := range segs {
+		if s.Width <= 0 {
+			continue
+		}
+		total += s.Width
+		acc += (s.Start + s.Width/2) * s.Width
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return acc / total
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	s := []float64{4, 1, 3, 2, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(s, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(p=%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if got := Percentile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("Percentile(nil) = %v, want NaN", got)
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	s := []float64{0, 10}
+	if got := Percentile(s, 0.95); math.Abs(got-9.5) > 1e-12 {
+		t.Errorf("Percentile = %v, want 9.5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	s := []float64{3, 1, 2}
+	Percentile(s, 0.5)
+	if s[0] != 3 || s[1] != 1 || s[2] != 2 {
+		t.Errorf("input mutated: %v", s)
+	}
+}
+
+func TestSegmentPercentileUniform(t *testing.T) {
+	// One segment from 0 to 10 over 10 s: value is uniform on [0,10].
+	segs := []Segment{{Start: 0, Width: 10}}
+	for _, p := range []float64{0.1, 0.5, 0.95} {
+		want := 10 * p
+		if got := SegmentPercentile(segs, p); math.Abs(got-want) > 1e-6 {
+			t.Errorf("p=%v: got %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestSegmentPercentileSawtooth(t *testing.T) {
+	// Two identical teeth: distribution same as one tooth.
+	one := []Segment{{0, 5}}
+	two := []Segment{{0, 5}, {0, 5}}
+	for _, p := range []float64{0.25, 0.5, 0.9} {
+		a := SegmentPercentile(one, p)
+		b := SegmentPercentile(two, p)
+		if math.Abs(a-b) > 1e-6 {
+			t.Errorf("p=%v: one=%v two=%v", p, a, b)
+		}
+	}
+}
+
+func TestSegmentPercentileOffsetTeeth(t *testing.T) {
+	// A constant-delay protocol: many tiny teeth starting at d with tiny
+	// width; 95th percentile ~= d.
+	var segs []Segment
+	for i := 0; i < 100; i++ {
+		segs = append(segs, Segment{Start: 0.2, Width: 0.01})
+	}
+	got := SegmentPercentile(segs, 0.95)
+	if got < 0.2 || got > 0.21 {
+		t.Errorf("got %v, want in [0.2, 0.21]", got)
+	}
+}
+
+func TestSegmentPercentileOutageTail(t *testing.T) {
+	// Mostly small delays, one 5-second outage tooth. The 95th percentile
+	// must be pulled up by the outage.
+	segs := []Segment{{Start: 0.02, Width: 0.5}}
+	for i := 0; i < 90; i++ {
+		segs = append(segs, Segment{Start: 0.02, Width: 0.05})
+	}
+	base := SegmentPercentile(segs, 0.95)
+	segs = append(segs, Segment{Start: 0.02, Width: 5})
+	withOutage := SegmentPercentile(segs, 0.95)
+	if withOutage <= base {
+		t.Errorf("outage did not raise p95: %v <= %v", withOutage, base)
+	}
+	if withOutage < 1.0 {
+		t.Errorf("p95 with 5s outage = %v, want > 1s", withOutage)
+	}
+}
+
+func TestSegmentPercentileEmpty(t *testing.T) {
+	if got := SegmentPercentile(nil, 0.95); !math.IsNaN(got) {
+		t.Errorf("got %v, want NaN", got)
+	}
+	if got := SegmentPercentile([]Segment{{1, 0}}, 0.5); !math.IsNaN(got) {
+		t.Errorf("zero-width segments should be ignored; got %v", got)
+	}
+}
+
+func TestSegmentMean(t *testing.T) {
+	segs := []Segment{{Start: 0, Width: 10}}
+	if got := SegmentMean(segs); math.Abs(got-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	segs = []Segment{{Start: 1, Width: 2}, {Start: 3, Width: 2}}
+	// Means: 2 and 4, equal weights -> 3.
+	if got := SegmentMean(segs); math.Abs(got-3) > 1e-12 {
+		t.Errorf("mean = %v, want 3", got)
+	}
+}
+
+func TestSegmentPercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var segs []Segment
+		for i := 0; i < 20; i++ {
+			segs = append(segs, Segment{Start: r.Float64(), Width: r.Float64()})
+		}
+		prev := math.Inf(-1)
+		for p := 0.05; p < 1; p += 0.1 {
+			v := SegmentPercentile(segs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	qs := Quantiles(s, 0, 0.5, 1)
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 5 {
+		t.Errorf("Quantiles = %v", qs)
+	}
+	qs = Quantiles(nil, 0.5)
+	if !math.IsNaN(qs[0]) {
+		t.Errorf("Quantiles(nil) = %v, want NaN", qs)
+	}
+}

@@ -1,0 +1,297 @@
+package tcp
+
+import (
+	"time"
+
+	"sprout/internal/network"
+	"sprout/internal/sim"
+)
+
+// SenderConfig parameterizes a bulk TCP sender.
+type SenderConfig struct {
+	Flow  uint32
+	Clock sim.Clock
+	Conn  Conn
+	// CC is the congestion-control policy. Required.
+	CC CongestionControl
+	// MSS is the on-wire segment size; zero means network.MTU.
+	MSS int
+	// MaxWindow bounds the effective window in segments, modeling the
+	// kernel's receive-buffer autotuning limit (Linux ~4 MB by default,
+	// i.e. ~2800 MTU segments). Zero means 2800.
+	MaxWindow int
+	// MinRTO is the retransmission-timer floor; zero means 200 ms
+	// (the Linux default).
+	MinRTO time.Duration
+}
+
+func (c SenderConfig) withDefaults() SenderConfig {
+	if c.MSS == 0 {
+		c.MSS = network.MTU
+	}
+	if c.MaxWindow == 0 {
+		c.MaxWindow = 2800
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 200 * time.Millisecond
+	}
+	return c
+}
+
+// Sender is a bulk-transfer TCP sender: an unlimited backlog pushed through
+// the congestion window with NewReno loss recovery and RFC 6298 timers.
+type Sender struct {
+	cfg SenderConfig
+
+	nextSeq segnum // next new segment to transmit
+	sndUna  segnum // oldest unacknowledged segment
+	dupAcks int
+
+	inRecovery  bool
+	recoverSeq  segnum // nextSeq at the time recovery began
+	sentAt      map[segnum]time.Duration
+	retransmits map[segnum]bool
+
+	// RFC 6298 state.
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	minRTT       time.Duration
+	rtoTimer     sim.Timer
+	backoff      int
+
+	// Counters.
+	segmentsSent int64
+	retxSent     int64
+	timeouts     int64
+	fastRecov    int64
+}
+
+// NewSender creates the sender and begins transmitting immediately.
+func NewSender(cfg SenderConfig) *Sender {
+	cfg = cfg.withDefaults()
+	if cfg.Clock == nil || cfg.Conn == nil || cfg.CC == nil {
+		panic("tcp: SenderConfig requires Clock, Conn and CC")
+	}
+	s := &Sender{
+		cfg:         cfg,
+		sentAt:      make(map[segnum]time.Duration),
+		retransmits: make(map[segnum]bool),
+		rto:         time.Second, // RFC 6298 initial RTO
+		minRTT:      time.Hour,
+	}
+	s.cfg.Clock.After(0, s.trySend)
+	return s
+}
+
+// Stats returns transmission counters.
+func (s *Sender) Stats() (segments, retransmits, timeouts, fastRecoveries int64) {
+	return s.segmentsSent, s.retxSent, s.timeouts, s.fastRecov
+}
+
+// InFlight returns the number of unacknowledged segments.
+func (s *Sender) InFlight() int { return int(s.nextSeq - s.sndUna) }
+
+// SRTT returns the smoothed RTT estimate.
+func (s *Sender) SRTT() time.Duration { return s.srtt }
+
+// effectiveWindow caps the congestion window by the receive-buffer model.
+func (s *Sender) effectiveWindow() float64 {
+	w := s.cfg.CC.Window()
+	if max := float64(s.cfg.MaxWindow); w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// trySend transmits segments while the window has room. After a timeout
+// rewind, segments below the previous high-water mark are retransmissions
+// (Karn's algorithm excludes them from RTT sampling).
+func (s *Sender) trySend() {
+	now := s.cfg.Clock.Now()
+	for float64(s.InFlight()) < s.effectiveWindow() {
+		s.transmit(s.nextSeq, now, s.retransmits[s.nextSeq])
+		s.nextSeq++
+	}
+	s.armRTO()
+}
+
+func (s *Sender) transmit(seq segnum, now time.Duration, isRetx bool) {
+	pkt := dataPacket(s.cfg.Flow, seq, s.cfg.MSS, now)
+	if isRetx {
+		s.retransmits[seq] = true
+		s.retxSent++
+	} else {
+		s.sentAt[seq] = now
+	}
+	s.segmentsSent++
+	s.cfg.Conn.Send(pkt)
+}
+
+func (s *Sender) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Stop()
+	}
+	if s.InFlight() == 0 {
+		return
+	}
+	d := s.rto << s.backoff
+	if d > time.Minute {
+		d = time.Minute
+	}
+	s.rtoTimer = s.cfg.Clock.After(d, s.onTimeout)
+}
+
+func (s *Sender) onTimeout() {
+	if s.InFlight() == 0 {
+		return
+	}
+	s.timeouts++
+	s.backoff++
+	if s.backoff > 8 {
+		s.backoff = 8
+	}
+	s.inRecovery = false
+	s.dupAcks = 0
+	s.cfg.CC.OnTimeout()
+	// Go-back-N: everything outstanding is presumed lost; rewind and
+	// let slow start resend from the cumulative ACK point. Cumulative
+	// ACKs fast-forward over segments the receiver already holds.
+	for seq := s.sndUna; seq < s.nextSeq; seq++ {
+		s.retransmits[seq] = true
+	}
+	s.nextSeq = s.sndUna
+	s.trySend()
+}
+
+// Receive processes an arriving ACK. Attach as the reverse link's handler.
+func (s *Sender) Receive(pkt *network.Packet) {
+	var h wireHeader
+	if err := h.unmarshal(pkt.Payload); err != nil || h.kind != kindAck {
+		return
+	}
+	now := s.cfg.Clock.Now()
+	ack := h.ack
+	switch {
+	case ack > s.sndUna:
+		acked := int(ack - s.sndUna)
+		// RTT sample from the newest cumulatively ACKed segment that
+		// was not retransmitted (Karn's algorithm).
+		var rtt time.Duration
+		for seq := ack - 1; seq >= s.sndUna; seq-- {
+			if s.retransmits[seq] {
+				continue
+			}
+			if t0, ok := s.sentAt[seq]; ok {
+				rtt = now - t0
+			}
+			break
+		}
+		for seq := s.sndUna; seq < ack; seq++ {
+			delete(s.sentAt, seq)
+			delete(s.retransmits, seq)
+		}
+		s.sndUna = ack
+		s.dupAcks = 0
+		s.backoff = 0
+		if rtt > 0 {
+			s.updateRTT(rtt)
+		}
+		if s.inRecovery {
+			if ack >= s.recoverSeq {
+				s.inRecovery = false
+			} else {
+				// NewReno partial ACK: the next hole is lost too.
+				s.transmit(s.sndUna, now, true)
+			}
+		}
+		s.cfg.CC.OnAck(acked, rtt, s.srtt, s.minRTT)
+		s.trySend()
+	case ack == s.sndUna && s.InFlight() > 0:
+		s.dupAcks++
+		if s.dupAcks == 3 && !s.inRecovery {
+			s.inRecovery = true
+			s.recoverSeq = s.nextSeq
+			s.fastRecov++
+			s.cfg.CC.OnLoss()
+			s.transmit(s.sndUna, now, true)
+			s.armRTO()
+		}
+	}
+}
+
+func (s *Sender) updateRTT(rtt time.Duration) {
+	if rtt < s.minRTT {
+		s.minRTT = rtt
+	}
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		d := s.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		s.rttvar = (3*s.rttvar + d) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < s.cfg.MinRTO {
+		s.rto = s.cfg.MinRTO
+	}
+}
+
+// Receiver is the TCP receiving endpoint: cumulative ACKs with duplicate-ACK
+// generation for out-of-order arrivals.
+type Receiver struct {
+	flow    uint32
+	clock   sim.Clock
+	conn    Conn
+	rcvNxt  segnum
+	ooo     map[segnum]bool
+	acks    int64
+	segsIn  int64
+	dupsIn  int64
+	highest segnum
+}
+
+// NewReceiver creates a TCP receiver; conn carries ACKs back to the sender.
+func NewReceiver(flow uint32, clock sim.Clock, conn Conn) *Receiver {
+	if clock == nil || conn == nil {
+		panic("tcp: Receiver requires clock and conn")
+	}
+	return &Receiver{flow: flow, clock: clock, conn: conn, ooo: make(map[segnum]bool)}
+}
+
+// Segments returns the count of data segments received (including
+// duplicates).
+func (r *Receiver) Segments() int64 { return r.segsIn }
+
+// NextExpected returns the cumulative in-order high-water mark.
+func (r *Receiver) NextExpected() int64 { return r.rcvNxt }
+
+// Receive processes an arriving data segment and emits an ACK. Attach as
+// the forward link's delivery handler.
+func (r *Receiver) Receive(pkt *network.Packet) {
+	var h wireHeader
+	if err := h.unmarshal(pkt.Payload); err != nil || h.kind != kindData {
+		return
+	}
+	r.segsIn++
+	switch {
+	case h.seq == r.rcvNxt:
+		r.rcvNxt++
+		for r.ooo[r.rcvNxt] {
+			delete(r.ooo, r.rcvNxt)
+			r.rcvNxt++
+		}
+	case h.seq > r.rcvNxt:
+		r.ooo[h.seq] = true
+	default:
+		r.dupsIn++
+	}
+	r.acks++
+	r.conn.Send(ackPacket(r.flow, r.rcvNxt, r.clock.Now()))
+}

@@ -1,0 +1,15 @@
+package tcp
+
+import (
+	"sprout/internal/network"
+	"sprout/internal/sim"
+)
+
+// Aliases keeping cc_test.go concise.
+type networkPacket = network.Packet
+
+type connFn func(*network.Packet)
+
+func (f connFn) Send(p *network.Packet) { f(p) }
+
+func newLoopForTest() *sim.Loop { return sim.New() }

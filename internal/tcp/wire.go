@@ -1,0 +1,78 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"sprout/internal/network"
+)
+
+// Wire format: a compact fixed-size header, marshaled big-endian.
+// kind(1) + flow(4) + seq(8) + ack(8) = 21 bytes; data segments pad to the
+// MSS on the wire, ACKs travel as 40-byte packets (IP+TCP header weight).
+const (
+	kindData = 1
+	kindAck  = 2
+
+	wireHeaderSize = 21
+	// AckSize is the on-wire size of a pure ACK.
+	AckSize = 40
+)
+
+type wireHeader struct {
+	kind byte
+	flow uint32
+	seq  segnum // data: segment number; ack: cumulative ack (next expected)
+	ack  segnum
+}
+
+func (h *wireHeader) marshal(dst []byte) []byte {
+	var buf [wireHeaderSize]byte
+	buf[0] = h.kind
+	binary.BigEndian.PutUint32(buf[1:], h.flow)
+	binary.BigEndian.PutUint64(buf[5:], uint64(h.seq))
+	binary.BigEndian.PutUint64(buf[13:], uint64(h.ack))
+	return append(dst, buf[:]...)
+}
+
+var errShortTCP = errors.New("tcp: short header")
+
+func (h *wireHeader) unmarshal(src []byte) error {
+	if len(src) < wireHeaderSize {
+		return errShortTCP
+	}
+	h.kind = src[0]
+	h.flow = binary.BigEndian.Uint32(src[1:])
+	h.seq = segnum(binary.BigEndian.Uint64(src[5:]))
+	h.ack = segnum(binary.BigEndian.Uint64(src[13:]))
+	return nil
+}
+
+// Conn transmits packets toward the peer (an emulated link in simulation).
+type Conn interface {
+	Send(pkt *network.Packet)
+}
+
+func dataPacket(flow uint32, seq segnum, mss int, now time.Duration) *network.Packet {
+	h := wireHeader{kind: kindData, flow: flow, seq: seq}
+	return &network.Packet{
+		Flow:    flow,
+		Seq:     seq,
+		Size:    mss,
+		Payload: h.marshal(nil),
+		SentAt:  now,
+	}
+}
+
+func ackPacket(flow uint32, ack segnum, now time.Duration) *network.Packet {
+	h := wireHeader{kind: kindAck, ack: ack}
+	h.flow = flow
+	return &network.Packet{
+		Flow:    flow,
+		Seq:     ack,
+		Size:    AckSize,
+		Payload: h.marshal(nil),
+		SentAt:  now,
+	}
+}

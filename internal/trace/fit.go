@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"math"
+	"time"
+)
+
+// FitLinkModel estimates LinkModel parameters from an observed trace — the
+// direction §7 of the paper points at ("stochastic network models ...
+// trained on empirical variations in cellular link speed"). A model fitted
+// to a measured trace can replace the frozen σ = 200 constant, or seed the
+// synthetic generator to mimic a particular carrier.
+//
+// Method of moments on the per-tick delivery counts k_i (tick = 20 ms):
+//
+//   - mean rate λ̄ from the overall count;
+//   - Brownian power σ from the variance of successive rate differences:
+//     for counts k_i ~ Poisson(λ_i τ) with λ_{i+1} = λ_i + σ√τ·N(0,1),
+//     Var[k_{i+1}−k_i] = 2·E[λ]τ (Poisson part) + σ²τ·τ², so
+//     σ² = (Var[Δk] − 2·λ̄τ) / τ³ ;
+//   - outages from gaps longer than outageGapThreshold: the entry rate is
+//     outages per active second, the escape rate the inverse mean gap.
+//
+// Robustness over elegance: differences spanning detected outage gaps are
+// excluded from the σ estimate, and σ is clamped to a sane band.
+func FitLinkModel(t *Trace, name string) LinkModel {
+	const (
+		tick               = 20 * time.Millisecond
+		outageGapThreshold = time.Second
+	)
+	tau := tick.Seconds()
+	m := LinkModel{Name: name, Reversion: 0.3}
+	dur := t.Duration()
+	if dur <= 0 || t.Count() < 2 {
+		return m
+	}
+
+	// Outage detection from long gaps.
+	var outageTime time.Duration
+	outages := 0
+	for _, g := range t.Interarrivals() {
+		if g >= outageGapThreshold {
+			outages++
+			outageTime += g
+		}
+	}
+	activeSec := (dur - outageTime).Seconds()
+	if activeSec <= 0 {
+		activeSec = dur.Seconds()
+	}
+	m.MeanRate = float64(t.Count()) / activeSec
+	if outages > 0 {
+		m.OutageRate = float64(outages) / activeSec
+		m.OutageEscape = float64(outages) / outageTime.Seconds()
+	}
+
+	// Per-tick counts, with outage ticks flagged.
+	nTicks := int(dur/tick) + 1
+	counts := make([]float64, nTicks)
+	for _, op := range t.Opportunities {
+		counts[int(op/tick)]++
+	}
+	inOutage := make([]bool, nTicks)
+	prev := t.Opportunities[0]
+	for _, op := range t.Opportunities[1:] {
+		if op-prev >= outageGapThreshold {
+			for i := int(prev / tick); i <= int(op/tick) && i < nTicks; i++ {
+				inOutage[i] = true
+			}
+		}
+		prev = op
+	}
+
+	// Variance of successive count differences, excluding outage spans.
+	var sumD, sumD2 float64
+	n := 0
+	for i := 1; i < nTicks; i++ {
+		if inOutage[i] || inOutage[i-1] {
+			continue
+		}
+		d := counts[i] - counts[i-1]
+		sumD += d
+		sumD2 += d * d
+		n++
+	}
+	if n > 10 {
+		meanD := sumD / float64(n)
+		varD := sumD2/float64(n) - meanD*meanD
+		num := varD - 2*m.MeanRate*tau
+		if num > 0 {
+			m.Sigma = math.Sqrt(num / (tau * tau * tau))
+		}
+	}
+	// Clamp σ to a plausible band; an unresolvable fit falls back to the
+	// paper's frozen constant scaled by the link's rate class.
+	switch {
+	case m.Sigma <= 0:
+		m.Sigma = math.Max(25, m.MeanRate/2)
+	case m.Sigma < 10:
+		m.Sigma = 10
+	case m.Sigma > 2000:
+		m.Sigma = 2000
+	}
+	m.MaxRate = m.MeanRate * 3
+	if m.MaxRate < 50 {
+		m.MaxRate = 50
+	}
+	return m
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestFitRecoverMeanRate(t *testing.T) {
+	gen := LinkModel{Name: "g", MeanRate: 200, Sigma: 60, Reversion: 0.4, MaxRate: 600}
+	tr := gen.Generate(180*time.Second, rand.New(rand.NewSource(1)))
+	fit := FitLinkModel(tr, "fit")
+	if fit.MeanRate < 160 || fit.MeanRate > 240 {
+		t.Errorf("fitted mean rate = %.0f, want ~200", fit.MeanRate)
+	}
+}
+
+func TestFitRecoversSigmaOrdering(t *testing.T) {
+	// The fit need not recover σ exactly (the generator is mean-reverting
+	// and the estimator moment-based), but a calm link must fit a smaller
+	// σ than a wild one.
+	calm := LinkModel{Name: "calm", MeanRate: 300, Sigma: 30, Reversion: 0.4, MaxRate: 900}
+	wild := LinkModel{Name: "wild", MeanRate: 300, Sigma: 400, Reversion: 0.4, MaxRate: 900}
+	calmFit := FitLinkModel(calm.Generate(180*time.Second, rand.New(rand.NewSource(2))), "c")
+	wildFit := FitLinkModel(wild.Generate(180*time.Second, rand.New(rand.NewSource(3))), "w")
+	if calmFit.Sigma >= wildFit.Sigma {
+		t.Errorf("calm fit σ=%.0f should be below wild fit σ=%.0f", calmFit.Sigma, wildFit.Sigma)
+	}
+	if wildFit.Sigma < 100 {
+		t.Errorf("wild fit σ=%.0f too small", wildFit.Sigma)
+	}
+}
+
+func TestFitDetectsOutages(t *testing.T) {
+	gen := LinkModel{
+		Name: "o", MeanRate: 150, Sigma: 40, Reversion: 0.4, MaxRate: 450,
+		OutageRate: 1.0 / 15, OutageEscape: 0.5,
+	}
+	tr := gen.Generate(300*time.Second, rand.New(rand.NewSource(4)))
+	fit := FitLinkModel(tr, "fit")
+	if fit.OutageRate == 0 {
+		t.Fatal("no outages detected despite 1/15s entry rate")
+	}
+	// Entry rate within a factor of ~3 (small-sample statistic).
+	if fit.OutageRate < gen.OutageRate/3 || fit.OutageRate > gen.OutageRate*3 {
+		t.Errorf("fitted outage rate = %.4f, want ~%.4f", fit.OutageRate, gen.OutageRate)
+	}
+	if fit.OutageEscape <= 0 {
+		t.Errorf("fitted escape rate = %v", fit.OutageEscape)
+	}
+}
+
+func TestFitDegenerateInputs(t *testing.T) {
+	if m := FitLinkModel(&Trace{}, "empty"); m.MeanRate != 0 {
+		t.Errorf("empty fit = %+v", m)
+	}
+	one := &Trace{Opportunities: []time.Duration{time.Second}}
+	if m := FitLinkModel(one, "one"); m.MeanRate != 0 {
+		t.Errorf("single-op fit = %+v", m)
+	}
+}
+
+func TestFittedModelRegenerates(t *testing.T) {
+	// Round trip: generate → fit → regenerate → compare gross statistics.
+	gen, _ := CanonicalLink("TMobile-3G-down")
+	orig := gen.Generate(180*time.Second, rand.New(rand.NewSource(5)))
+	fit := FitLinkModel(orig, "refit")
+	regen := fit.Generate(180*time.Second, rand.New(rand.NewSource(6)))
+	r1 := orig.MeanRateBps()
+	r2 := regen.MeanRateBps()
+	if r2 < r1*0.7 || r2 > r1*1.3 {
+		t.Errorf("regenerated rate %.0f vs original %.0f", r2/1000, r1/1000)
+	}
+	s1 := orig.ComputeStats()
+	s2 := regen.ComputeStats()
+	// Rate variability must be in the same regime (both swing, ratio of
+	// p90/p10 within a factor of ~2.5 of each other).
+	v1 := (s1.PerSecondP90 + 1) / (s1.PerSecondP10 + 1)
+	v2 := (s2.PerSecondP90 + 1) / (s2.PerSecondP10 + 1)
+	if v2 > v1*2.5 || v2 < v1/2.5 {
+		t.Errorf("variability regime mismatch: original %.1f, regenerated %.1f", v1, v2)
+	}
+}

@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LinkModel parameterizes the synthetic cellular link generator. The model
+// is the paper's own (§3.1): packet deliveries form a Poisson process whose
+// rate λ (MTU-packets per second) wanders with Brownian noise, plus a sticky
+// outage state entered at random and escaped at rate λz. To keep synthetic
+// traces stationary over arbitrary durations the Brownian motion is given a
+// gentle mean reversion toward MeanRate (an Ornstein–Uhlenbeck process);
+// over the sub-second horizons that matter to Sprout's forecasts this is
+// indistinguishable from pure Brownian motion.
+type LinkModel struct {
+	Name string
+	// MeanRate is the long-run average link rate in MTU-packets/s.
+	MeanRate float64
+	// Sigma is the Brownian noise power in packets/s/√s (the paper
+	// measured σ ≈ 200 on Verizon LTE).
+	Sigma float64
+	// Reversion is the OU mean-reversion rate in 1/s (small; keeps the
+	// process from drifting to the boundaries over long traces).
+	Reversion float64
+	// MaxRate caps λ (packets/s).
+	MaxRate float64
+	// OutageRate is the rate (1/s) of spontaneous transitions into a
+	// full outage (λ pinned to 0).
+	OutageRate float64
+	// OutageEscape is the escape rate λz (1/s) from an outage; outage
+	// durations are exponential with mean 1/OutageEscape.
+	OutageEscape float64
+}
+
+// Generate synthesizes a trace of the given duration using the model and
+// the provided random source. The rate process is stepped on a 10 ms grid;
+// within each step, deliveries are drawn Poisson(λ·dt) and spread uniformly.
+func (m LinkModel) Generate(d time.Duration, rng *rand.Rand) *Trace {
+	const dt = 10 * time.Millisecond
+	dtSec := dt.Seconds()
+	steps := int(d / dt)
+	lambda := m.MeanRate
+	inOutage := false
+	t := &Trace{Name: m.Name}
+	sqrtDt := math.Sqrt(dtSec)
+	for s := 0; s < steps; s++ {
+		start := time.Duration(s) * dt
+		if inOutage {
+			// Escape with probability 1-exp(-λz·dt).
+			if rng.Float64() < 1-math.Exp(-m.OutageEscape*dtSec) {
+				inOutage = false
+				// Resume at a fraction of the mean rate: links
+				// come back weak and recover.
+				lambda = m.MeanRate * (0.1 + 0.4*rng.Float64())
+			} else {
+				continue // no deliveries during outage
+			}
+		} else if m.OutageRate > 0 && rng.Float64() < 1-math.Exp(-m.OutageRate*dtSec) {
+			inOutage = true
+			continue
+		}
+		// OU step: mean reversion plus Brownian noise.
+		lambda += m.Reversion*(m.MeanRate-lambda)*dtSec + m.Sigma*sqrtDt*rng.NormFloat64()
+		if lambda < 0 {
+			lambda = 0
+		}
+		if m.MaxRate > 0 && lambda > m.MaxRate {
+			lambda = m.MaxRate
+		}
+		n := poissonDraw(rng, lambda*dtSec)
+		if n == 0 {
+			continue
+		}
+		offsets := make([]float64, n)
+		for i := range offsets {
+			offsets[i] = rng.Float64()
+		}
+		// Sort offsets (insertion sort; n is small).
+		for i := 1; i < len(offsets); i++ {
+			for j := i; j > 0 && offsets[j] < offsets[j-1]; j-- {
+				offsets[j], offsets[j-1] = offsets[j-1], offsets[j]
+			}
+		}
+		for _, o := range offsets {
+			t.Opportunities = append(t.Opportunities, start+time.Duration(o*float64(dt)))
+		}
+	}
+	return t
+}
+
+// poissonDraw samples a Poisson random variate with the given mean using
+// inversion for small means and the normal approximation for large ones.
+func poissonDraw(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		n := int(mean + math.Sqrt(mean)*rng.NormFloat64() + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// CanonicalLinks returns models for the eight links measured in the paper
+// (§4.1): Verizon LTE, Verizon 3G (1xEV-DO), AT&T LTE, T-Mobile 3G (UMTS),
+// downlink and uplink each. Mean rates are set to match the capacity ranges
+// visible in Figure 7; volatility uses the paper's σ = 200 for LTE and
+// proportionally less for the slower 3G links; all links exhibit occasional
+// multi-second outages as described in §2.1.
+func CanonicalLinks() []LinkModel {
+	return []LinkModel{
+		{
+			Name:     "Verizon-LTE-down",
+			MeanRate: 420, // ≈ 5.0 Mbps
+			Sigma:    200, Reversion: 0.35, MaxRate: 1000,
+			OutageRate: 1.0 / 50, OutageEscape: 1.0,
+		},
+		{
+			Name:     "Verizon-LTE-up",
+			MeanRate: 300, // ≈ 3.6 Mbps
+			Sigma:    160, Reversion: 0.35, MaxRate: 800,
+			OutageRate: 1.0 / 45, OutageEscape: 0.8,
+		},
+		{
+			Name:     "Verizon-3G-down",
+			MeanRate: 45, // ≈ 540 kbps
+			Sigma:    25, Reversion: 0.30, MaxRate: 150,
+			OutageRate: 1.0 / 40, OutageEscape: 0.6,
+		},
+		{
+			Name:     "Verizon-3G-up",
+			MeanRate: 50, // ≈ 600 kbps
+			Sigma:    25, Reversion: 0.30, MaxRate: 150,
+			OutageRate: 1.0 / 45, OutageEscape: 0.7,
+		},
+		{
+			Name:     "ATT-LTE-down",
+			MeanRate: 320, // ≈ 3.8 Mbps
+			Sigma:    180, Reversion: 0.35, MaxRate: 900,
+			OutageRate: 1.0 / 55, OutageEscape: 1.2,
+		},
+		{
+			Name:     "ATT-LTE-up",
+			MeanRate: 75, // ≈ 900 kbps
+			Sigma:    45, Reversion: 0.30, MaxRate: 250,
+			OutageRate: 1.0 / 50, OutageEscape: 1.0,
+		},
+		{
+			Name:     "TMobile-3G-down",
+			MeanRate: 135, // ≈ 1.6 Mbps
+			Sigma:    75, Reversion: 0.30, MaxRate: 400,
+			OutageRate: 1.0 / 45, OutageEscape: 0.8,
+		},
+		{
+			Name:     "TMobile-3G-up",
+			MeanRate: 85, // ≈ 1.0 Mbps
+			Sigma:    50, Reversion: 0.30, MaxRate: 300,
+			OutageRate: 1.0 / 40, OutageEscape: 0.7,
+		},
+	}
+}
+
+// CanonicalLink returns the model with the given name, or false.
+func CanonicalLink(name string) (LinkModel, bool) {
+	for _, m := range CanonicalLinks() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return LinkModel{}, false
+}
+
+// NetworkPair names a bidirectional network: a downlink and uplink model
+// pair for one carrier, as used by the paper's eight-chart evaluation.
+type NetworkPair struct {
+	Name     string
+	Down, Up LinkModel
+}
+
+// CanonicalNetworks returns the four measured networks as down/up pairs.
+func CanonicalNetworks() []NetworkPair {
+	links := CanonicalLinks()
+	return []NetworkPair{
+		{Name: "Verizon LTE", Down: links[0], Up: links[1]},
+		{Name: "Verizon 3G (1xEV-DO)", Down: links[2], Up: links[3]},
+		{Name: "AT&T LTE", Down: links[4], Up: links[5]},
+		{Name: "T-Mobile 3G (UMTS)", Down: links[6], Up: links[7]},
+	}
+}

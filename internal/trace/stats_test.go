@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := (&Trace{}).ComputeStats()
+	if s.Opportunities != 0 || s.MeanRateBps != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+	one := &Trace{Opportunities: []time.Duration{time.Second}}
+	s = one.ComputeStats()
+	if s.Opportunities != 1 || s.MaxGap != 0 {
+		t.Errorf("single-op stats = %+v", s)
+	}
+}
+
+func TestComputeStatsRegular(t *testing.T) {
+	// Perfectly regular 10 ms spacing.
+	var ops []time.Duration
+	for ts := time.Duration(0); ts <= 10*time.Second; ts += 10 * time.Millisecond {
+		ops = append(ops, ts)
+	}
+	s := (&Trace{Opportunities: ops}).ComputeStats()
+	if s.InterarrivalP50 != 10*time.Millisecond {
+		t.Errorf("p50 = %v", s.InterarrivalP50)
+	}
+	if s.FracWithin20ms != 1 {
+		t.Errorf("frac within 20ms = %v", s.FracWithin20ms)
+	}
+	if s.MaxGap != 10*time.Millisecond {
+		t.Errorf("max gap = %v", s.MaxGap)
+	}
+	// Constant rate: p10 == p90 (modulo the boundary second).
+	if s.PerSecondP90-s.PerSecondP10 > 2 {
+		t.Errorf("per-second spread %v..%v on a constant trace", s.PerSecondP10, s.PerSecondP90)
+	}
+}
+
+func TestComputeStatsCellular(t *testing.T) {
+	m, _ := CanonicalLink("Verizon-LTE-down")
+	tr := m.Generate(300*time.Second, rand.New(rand.NewSource(3)))
+	s := tr.ComputeStats()
+	if s.FracWithin20ms < 0.9 {
+		t.Errorf("frac within 20ms = %v", s.FracWithin20ms)
+	}
+	if !math.IsNaN(s.TailExponent) && s.TailExponent >= 0 {
+		t.Errorf("tail exponent = %v, want negative", s.TailExponent)
+	}
+	if s.MaxGap < 500*time.Millisecond {
+		t.Errorf("max gap = %v, expected outage-scale gaps", s.MaxGap)
+	}
+	if s.PerSecondP90 <= s.PerSecondP10 {
+		t.Errorf("no rate variability: p10=%v p90=%v", s.PerSecondP10, s.PerSecondP90)
+	}
+}

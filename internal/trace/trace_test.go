@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	in := "0\n5\n5\n# comment\n\n20\n"
+	tr, err := Parse(strings.NewReader(in), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", tr.Count())
+	}
+	want := []time.Duration{0, 5 * time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond}
+	for i, op := range tr.Opportunities {
+		if op != want[i] {
+			t.Errorf("op[%d] = %v, want %v", i, op, want[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("abc\n"), "bad"); err == nil {
+		t.Error("expected error for non-numeric line")
+	}
+	if _, err := Parse(strings.NewReader("-5\n"), "neg"); err == nil {
+		t.Error("expected error for negative timestamp")
+	}
+	if _, err := Parse(strings.NewReader("10\n5\n"), "order"); err == nil {
+		t.Error("expected error for decreasing timestamps")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "rt", Opportunities: []time.Duration{
+		0, 3 * time.Millisecond, 3 * time.Millisecond, 1500 * time.Millisecond,
+	}}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != tr.Count() {
+		t.Fatalf("round trip count = %d, want %d", got.Count(), tr.Count())
+	}
+	for i := range got.Opportunities {
+		if got.Opportunities[i] != tr.Opportunities[i] {
+			t.Errorf("op[%d] = %v, want %v", i, got.Opportunities[i], tr.Opportunities[i])
+		}
+	}
+}
+
+func TestCapacityBits(t *testing.T) {
+	tr := &Trace{Opportunities: []time.Duration{
+		0, time.Second, 2 * time.Second, 3 * time.Second,
+	}}
+	// Window [1s, 3s) contains opportunities at 1s and 2s.
+	got := tr.CapacityBits(time.Second, 3*time.Second)
+	want := int64(2 * MTU * 8)
+	if got != want {
+		t.Errorf("CapacityBits = %d, want %d", got, want)
+	}
+}
+
+func TestMeanRateBps(t *testing.T) {
+	// 100 opportunities over 1 second = 100*1500*8 bps... duration is
+	// time of last opportunity.
+	ops := make([]time.Duration, 101)
+	for i := range ops {
+		ops[i] = time.Duration(i) * 10 * time.Millisecond // last at 1s
+	}
+	tr := &Trace{Opportunities: ops}
+	got := tr.MeanRateBps()
+	want := 101.0 * MTU * 8 / 1.0
+	if math.Abs(got-want) > 1 {
+		t.Errorf("MeanRateBps = %v, want %v", got, want)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := &Trace{Opportunities: []time.Duration{
+		0, time.Second, 2 * time.Second, 3 * time.Second,
+	}}
+	s := tr.Slice(time.Second, 3*time.Second)
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	if s.Opportunities[0] != 0 || s.Opportunities[1] != time.Second {
+		t.Errorf("rebased opportunities = %v", s.Opportunities)
+	}
+}
+
+func TestInterarrivals(t *testing.T) {
+	tr := &Trace{Opportunities: []time.Duration{0, 5 * time.Millisecond, 25 * time.Millisecond}}
+	got := tr.Interarrivals()
+	if len(got) != 2 || got[0] != 5*time.Millisecond || got[1] != 20*time.Millisecond {
+		t.Errorf("Interarrivals = %v", got)
+	}
+	if (&Trace{}).Interarrivals() != nil {
+		t.Error("empty trace should return nil interarrivals")
+	}
+}
+
+func TestGenerateMeanRate(t *testing.T) {
+	m := LinkModel{Name: "t", MeanRate: 100, Sigma: 30, Reversion: 0.5, MaxRate: 300}
+	rng := rand.New(rand.NewSource(1))
+	tr := m.Generate(60*time.Second, rng)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(tr.Count()) / 60.0
+	if rate < 70 || rate > 130 {
+		t.Errorf("generated rate %v pkt/s, want ~100", rate)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m, ok := CanonicalLink("Verizon-LTE-down")
+	if !ok {
+		t.Fatal("canonical link missing")
+	}
+	a := m.Generate(10*time.Second, rand.New(rand.NewSource(7)))
+	b := m.Generate(10*time.Second, rand.New(rand.NewSource(7)))
+	if a.Count() != b.Count() {
+		t.Fatalf("counts differ: %d vs %d", a.Count(), b.Count())
+	}
+	for i := range a.Opportunities {
+		if a.Opportunities[i] != b.Opportunities[i] {
+			t.Fatalf("op[%d] differs", i)
+		}
+	}
+}
+
+func TestGenerateOutages(t *testing.T) {
+	m := LinkModel{
+		Name: "outagey", MeanRate: 200, Sigma: 50, Reversion: 0.5,
+		MaxRate: 500, OutageRate: 0.2, OutageEscape: 0.5,
+	}
+	rng := rand.New(rand.NewSource(3))
+	tr := m.Generate(120*time.Second, rng)
+	// With outages entered every ~5 s lasting ~2 s, there must be some
+	// interarrival gaps well over a second.
+	var maxGap time.Duration
+	for _, g := range tr.Interarrivals() {
+		if g > maxGap {
+			maxGap = g
+		}
+	}
+	if maxGap < time.Second {
+		t.Errorf("max interarrival gap = %v, want > 1s (outages)", maxGap)
+	}
+}
+
+func TestGenerateRateVariability(t *testing.T) {
+	// An LTE-like link must show large swings: the per-second delivered
+	// count should vary by at least 3x between its 10th and 90th
+	// percentile seconds.
+	m, _ := CanonicalLink("Verizon-LTE-down")
+	tr := m.Generate(120*time.Second, rand.New(rand.NewSource(11)))
+	perSec := make([]float64, 120)
+	for _, op := range tr.Opportunities {
+		s := int(op / time.Second)
+		if s < len(perSec) {
+			perSec[s]++
+		}
+	}
+	lo, hi := percentilePair(perSec, 0.1, 0.9)
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi/lo < 3 {
+		t.Errorf("p90/p10 per-second rate ratio = %.1f, want >= 3 (got lo=%v hi=%v)", hi/lo, lo, hi)
+	}
+}
+
+func percentilePair(s []float64, p1, p2 float64) (float64, float64) {
+	c := append([]float64(nil), s...)
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j] < c[j-1]; j-- {
+			c[j], c[j-1] = c[j-1], c[j]
+		}
+	}
+	return c[int(p1*float64(len(c)-1))], c[int(p2*float64(len(c)-1))]
+}
+
+func TestCanonicalLinks(t *testing.T) {
+	links := CanonicalLinks()
+	if len(links) != 8 {
+		t.Fatalf("got %d canonical links, want 8", len(links))
+	}
+	seen := map[string]bool{}
+	for _, m := range links {
+		if m.MeanRate <= 0 || m.MaxRate <= 0 || m.Sigma <= 0 {
+			t.Errorf("link %q has non-positive parameters", m.Name)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate link name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	if _, ok := CanonicalLink("nope"); ok {
+		t.Error("CanonicalLink should not find nonexistent name")
+	}
+}
+
+func TestCanonicalNetworks(t *testing.T) {
+	nets := CanonicalNetworks()
+	if len(nets) != 4 {
+		t.Fatalf("got %d networks, want 4", len(nets))
+	}
+	for _, n := range nets {
+		if n.Down.Name == "" || n.Up.Name == "" {
+			t.Errorf("network %q missing link models", n.Name)
+		}
+	}
+}
+
+func TestPoissonDrawMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, mean := range []float64{0.5, 5, 100} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(poissonDraw(rng, mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > mean*0.05+0.05 {
+			t.Errorf("poissonDraw mean = %v, want %v", got, mean)
+		}
+	}
+	if poissonDraw(rng, 0) != 0 {
+		t.Error("poissonDraw(0) != 0")
+	}
+}

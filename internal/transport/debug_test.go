@@ -1,0 +1,28 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"sprout/internal/core"
+)
+
+// TestDebugRampDiagnostics prints the control loop's internal state over
+// the first seconds of a steady-link session. It never fails; it exists to
+// diagnose ramp behaviour (run with -v).
+func TestDebugRampDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic only")
+	}
+	dur := 10 * time.Second
+	sess := newSession(steadyTrace(300, dur+5*time.Second, 1), steadyTrace(100, dur+5*time.Second, 2), nil)
+	df := sess.rcv.Forecaster().(*core.DeliveryForecaster)
+	for ts := 500 * time.Millisecond; ts <= dur; ts += 500 * time.Millisecond {
+		sess.loop.Run(ts)
+		obs, cens, skip := sess.rcv.TickStats()
+		t.Logf("t=%v mean=%.0f out=%.3f win=%d qest=%d sent=%d hb=%d fb=%d obs/cens/skip=%d/%d/%d qlen=%d",
+			ts, df.Model().Mean(), df.Model().OutageProbability(),
+			sess.snd.Window(), sess.snd.QueueEstimate(), sess.snd.PacketsSent(),
+			sess.snd.Heartbeats(), sess.snd.FeedbacksReceived(), obs, cens, skip, sess.fwd.QueueLen())
+	}
+}

@@ -1,0 +1,28 @@
+package transport
+
+import (
+	"math/rand"
+	"time"
+
+	"sprout/internal/core"
+	"sprout/internal/protocol"
+	"sprout/internal/trace"
+)
+
+func protocolHeader(recvTotal uint64, fc []uint32) protocol.Header {
+	return protocol.Header{
+		Flags:        protocol.FlagForecast,
+		RecvTotal:    recvTotal,
+		TickDuration: 20 * time.Millisecond,
+		Forecast:     fc,
+	}
+}
+
+func newForecasterWithConfidence(c float64) *core.DeliveryForecaster {
+	return core.NewDeliveryForecaster(core.NewModel(core.Params{Confidence: c}))
+}
+
+func lteTrace(d time.Duration, seed int64) *trace.Trace {
+	m, _ := trace.CanonicalLink("Verizon-LTE-down")
+	return m.Generate(d, rand.New(rand.NewSource(seed)))
+}

@@ -1,0 +1,257 @@
+// Package sprout is a Go implementation of Sprout, the transport protocol
+// for interactive applications over cellular wireless networks from
+// "Stochastic Forecasts Achieve High Throughput and Low Delay over Cellular
+// Networks" (Winstein, Sivaraman, Balakrishnan — NSDI 2013).
+//
+// Sprout's receiver models the cellular link as a doubly-stochastic
+// process: packet deliveries are Poisson with a rate λ that itself wanders
+// in Brownian motion, with a sticky outage state. Every 20 ms the receiver
+// performs a Bayesian update on a 256-bin discretization of λ and sends the
+// sender a cautious forecast — the 5th-percentile cumulative number of
+// packets the link will deliver over each of the next eight ticks. The
+// sender turns the forecast into a window of bytes guaranteed (with 95%
+// probability) to clear the bottleneck queue within 100 ms.
+//
+// This package is the public facade over the implementation:
+//
+//   - the inference engine (Model, DeliveryForecaster, EWMAForecaster);
+//   - the protocol endpoints (Sender, Receiver) usable over the included
+//     discrete-event simulator or real UDP sockets;
+//   - the Cellsim-style trace-driven link emulator (Link, Trace) and the
+//     synthetic cellular trace generator;
+//   - SproutTunnel (TunnelIngress/TunnelEgress) for carrying arbitrary
+//     flows with per-flow isolation;
+//   - the experiment harness that regenerates every table and figure of
+//     the paper (RunExperiment, RunMatrix, and friends).
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture
+// and the per-experiment index.
+package sprout
+
+import (
+	"time"
+
+	"sprout/internal/core"
+	"sprout/internal/harness"
+	"sprout/internal/link"
+	"sprout/internal/metrics"
+	"sprout/internal/network"
+	"sprout/internal/saturator"
+	"sprout/internal/sim"
+	"sprout/internal/trace"
+	"sprout/internal/transport"
+	"sprout/internal/tunnel"
+)
+
+// MTU is the packet size (bytes) the model's delivery opportunities are
+// denominated in.
+const MTU = network.MTU
+
+// Inference engine (the paper's §3 contribution).
+type (
+	// Params configures the stochastic link model; zero fields take the
+	// paper's frozen constants (256 bins, 1000 pkt/s, 20 ms tick,
+	// σ = 200, λz = 1, 95% confidence, 8-tick horizon).
+	Params = core.Params
+	// Model is the Bayesian filter over the link rate.
+	Model = core.Model
+	// Forecaster is the per-tick link model interface consumed by the
+	// transport (Bayesian or EWMA).
+	Forecaster = core.Forecaster
+	// Observation classifies a tick's packet count (exact, censored
+	// lower bound, or skip).
+	Observation = core.Observation
+	// DeliveryForecaster produces Sprout's cautious cumulative delivery
+	// forecasts from a Model.
+	DeliveryForecaster = core.DeliveryForecaster
+	// EWMAForecaster is the Sprout-EWMA variant's rate tracker.
+	EWMAForecaster = core.EWMAForecaster
+	// AdaptiveForecaster adds online σ adaptation — the extension §3.1
+	// and §7 of the paper sketch ("allow σ and λz to vary slowly").
+	AdaptiveForecaster = core.AdaptiveForecaster
+	// AdaptiveConfig tunes the σ controller.
+	AdaptiveConfig = core.AdaptiveConfig
+)
+
+// Observation modes.
+const (
+	ObsExact   = core.ObsExact
+	ObsAtLeast = core.ObsAtLeast
+	ObsSkip    = core.ObsSkip
+)
+
+// NewModel builds the Bayesian link model (uniform prior over rates).
+func NewModel(p Params) *Model { return core.NewModel(p) }
+
+// NewDeliveryForecaster builds Sprout's forecaster over a model,
+// precomputing its Poisson tables.
+func NewDeliveryForecaster(m *Model) *DeliveryForecaster {
+	return core.NewDeliveryForecaster(m)
+}
+
+// NewEWMAForecaster builds the Sprout-EWMA rate tracker; zero arguments
+// select the defaults (gain 1/8, 20 ms tick, 8-tick horizon).
+func NewEWMAForecaster(gain float64, tick time.Duration, horizon int) *EWMAForecaster {
+	return core.NewEWMAForecaster(gain, tick, horizon)
+}
+
+// NewAdaptiveForecaster wraps a model with online Brownian-noise
+// adaptation driven by predictive-coverage innovations.
+func NewAdaptiveForecaster(m *Model, cfg AdaptiveConfig) *AdaptiveForecaster {
+	return core.NewAdaptiveForecaster(m, cfg)
+}
+
+// DefaultParams returns the paper's frozen model constants.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Transport endpoints.
+type (
+	// Packet is one datagram moving through links and endpoints.
+	Packet = network.Packet
+	// Conn carries packets toward a peer (an emulated link, a UDP
+	// socket adapter, or any function via ConnFunc).
+	Conn = transport.Conn
+	// ConnFunc adapts a function to Conn.
+	ConnFunc = transport.ConnFunc
+	// Clock abstracts time: the simulation loop or a real-time clock.
+	Clock = sim.Clock
+	// Sender is the Sprout sending endpoint.
+	Sender = transport.Sender
+	// SenderConfig configures a Sender.
+	SenderConfig = transport.SenderConfig
+	// Receiver is the Sprout receiving endpoint (runs the inference).
+	Receiver = transport.Receiver
+	// ReceiverConfig configures a Receiver.
+	ReceiverConfig = transport.ReceiverConfig
+	// Source provides application data to a Sender.
+	Source = transport.Source
+	// BulkSource is an infinite backlog Source.
+	BulkSource = transport.BulkSource
+)
+
+// NewSender creates a Sprout sender.
+func NewSender(cfg SenderConfig) *Sender { return transport.NewSender(cfg) }
+
+// NewReceiver creates a Sprout receiver.
+func NewReceiver(cfg ReceiverConfig) *Receiver { return transport.NewReceiver(cfg) }
+
+// Simulation and emulation.
+type (
+	// Simulation is the deterministic discrete-event loop.
+	Simulation = sim.Loop
+	// Trace is a sequence of link delivery opportunities.
+	Trace = trace.Trace
+	// LinkModel generates synthetic cellular traces using the paper's
+	// own stochastic link model.
+	LinkModel = trace.LinkModel
+	// NetworkPair is a named downlink/uplink model pair.
+	NetworkPair = trace.NetworkPair
+	// Link is one direction of a Cellsim-style emulated path.
+	Link = link.Link
+	// LinkConfig configures a Link.
+	LinkConfig = link.Config
+	// Delivery is one delivered-packet record from a Link's log.
+	Delivery = link.Delivery
+)
+
+// NewSimulation returns a fresh virtual-time event loop.
+func NewSimulation() *Simulation { return sim.New() }
+
+// NewLink creates an emulated link on a clock; deliver receives packets as
+// they cross.
+func NewLink(clock Clock, cfg LinkConfig, deliver func(*Packet)) *Link {
+	return link.New(clock, cfg, deliver)
+}
+
+// CanonicalNetworks returns the four cellular networks of the paper's
+// evaluation as downlink/uplink model pairs.
+func CanonicalNetworks() []NetworkPair { return trace.CanonicalNetworks() }
+
+// CanonicalLink looks up one of the eight canonical link models by name
+// (e.g. "Verizon-LTE-down").
+func CanonicalLink(name string) (LinkModel, bool) { return trace.CanonicalLink(name) }
+
+// Tunnel (§4.3).
+type (
+	// TunnelIngress queues client flows and feeds a Sprout sender in
+	// round-robin order with forecast-bounded head drops.
+	TunnelIngress = tunnel.Ingress
+	// TunnelEgress unwraps frames at the far end.
+	TunnelEgress = tunnel.Egress
+)
+
+// NewTunnelIngress creates an empty tunnel ingress; Bind the Sprout sender
+// after construction.
+func NewTunnelIngress() *TunnelIngress { return tunnel.NewIngress() }
+
+// NewTunnelEgress creates the tunnel egress; attach its Deliver method as
+// the Sprout receiver's Deliver callback.
+func NewTunnelEgress(clock Clock, handler func(*Packet)) *TunnelEgress {
+	return tunnel.NewEgress(clock, handler)
+}
+
+// Saturator (§4.1): the trace-capture measurement tool.
+type (
+	// SaturatorSender keeps a link's queue permanently backlogged,
+	// holding the observed RTT in [750 ms, 3000 ms].
+	SaturatorSender = saturator.Sender
+	// SaturatorConfig configures the saturating sender.
+	SaturatorConfig = saturator.SenderConfig
+	// SaturatorReceiver records ground-truth delivery instants and
+	// exports them as a Trace.
+	SaturatorReceiver = saturator.Receiver
+)
+
+// NewSaturatorSender starts saturating immediately.
+func NewSaturatorSender(cfg SaturatorConfig) *SaturatorSender {
+	return saturator.NewSender(cfg)
+}
+
+// NewSaturatorReceiver creates the recording endpoint; conn carries echoes
+// back toward the sender.
+func NewSaturatorReceiver(flow uint32, clock Clock, conn Conn) *SaturatorReceiver {
+	return saturator.NewReceiver(flow, clock, conn)
+}
+
+// Metrics (§5.1).
+type (
+	// Metrics aggregates throughput, 95% end-to-end delay, the
+	// omniscient bound, self-inflicted delay and utilization.
+	Metrics = metrics.Result
+)
+
+// Evaluate computes the paper's metrics for a delivery log over [from, to)
+// against the trace that drove the link.
+func Evaluate(dl []Delivery, tr *Trace, prop, from, to time.Duration) Metrics {
+	return metrics.Evaluate(dl, tr, prop, from, to)
+}
+
+// Experiment harness.
+type (
+	// ExperimentConfig describes one scheme-over-trace-pair run.
+	ExperimentConfig = harness.Config
+	// ExperimentResult is its outcome.
+	ExperimentResult = harness.Result
+	// SuiteOptions parameterizes whole-suite runs.
+	SuiteOptions = harness.Options
+	// ResultMatrix is the schemes × links grid behind Figure 7 and the
+	// summary tables.
+	ResultMatrix = harness.Matrix
+)
+
+// Schemes lists every supported scheme name.
+func Schemes() []string { return harness.Schemes() }
+
+// RunExperiment executes one experiment run.
+func RunExperiment(cfg ExperimentConfig) (ExperimentResult, error) { return harness.Run(cfg) }
+
+// RunMatrix executes schemes × the eight canonical links.
+func RunMatrix(opt SuiteOptions, schemes []string) (*ResultMatrix, error) {
+	return harness.RunMatrix(opt, schemes)
+}
+
+// GenerateTracePair deterministically generates the data/feedback traces
+// for one network and direction ("down" or "up").
+func GenerateTracePair(pair NetworkPair, direction string, d time.Duration, seed int64) (data, feedback *Trace) {
+	return harness.GenerateTracePair(pair, direction, d, seed)
+}

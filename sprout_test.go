@@ -1,0 +1,85 @@
+package sprout_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sprout"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end the way the
+// examples do: generate a trace, wire endpoints through emulated links in
+// a simulation, run, and evaluate.
+func TestPublicAPIQuickstart(t *testing.T) {
+	model, ok := sprout.CanonicalLink("Verizon-LTE-down")
+	if !ok {
+		t.Fatal("canonical link missing")
+	}
+	dur := 30 * time.Second
+	data := model.Generate(dur+5*time.Second, rand.New(rand.NewSource(1)))
+	up, _ := sprout.CanonicalLink("Verizon-LTE-up")
+	fbTrace := up.Generate(dur+5*time.Second, rand.New(rand.NewSource(2)))
+
+	loop := sprout.NewSimulation()
+	var rcv *sprout.Receiver
+	var snd *sprout.Sender
+	fwd := sprout.NewLink(loop, sprout.LinkConfig{
+		Trace:            data,
+		PropagationDelay: 20 * time.Millisecond,
+	}, func(p *sprout.Packet) { rcv.Receive(p) })
+	fwd.RecordDeliveries(true)
+	rev := sprout.NewLink(loop, sprout.LinkConfig{
+		Trace:            fbTrace,
+		PropagationDelay: 20 * time.Millisecond,
+	}, func(p *sprout.Packet) { snd.Receive(p) })
+	rcv = sprout.NewReceiver(sprout.ReceiverConfig{Clock: loop, Conn: rev})
+	snd = sprout.NewSender(sprout.SenderConfig{Clock: loop, Conn: fwd})
+
+	loop.Run(dur)
+	m := sprout.Evaluate(fwd.Deliveries(), data, 20*time.Millisecond, 5*time.Second, dur)
+	if m.ThroughputBps < 500_000 {
+		t.Errorf("throughput = %.0f bps, want substantial", m.ThroughputBps)
+	}
+	if m.SelfInflicted95 > 500*time.Millisecond {
+		t.Errorf("self-inflicted delay = %v, want interactive", m.SelfInflicted95)
+	}
+}
+
+func TestPublicAPIExperiment(t *testing.T) {
+	nets := sprout.CanonicalNetworks()
+	data, fb := sprout.GenerateTracePair(nets[0], "down", 20*time.Second, 3)
+	res, err := sprout.RunExperiment(sprout.ExperimentConfig{
+		Scheme: "sprout", DataTrace: data, FeedbackTrace: fb,
+		Duration: 20 * time.Second, Skip: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputBps == 0 {
+		t.Error("no throughput")
+	}
+}
+
+func TestPublicAPIForecaster(t *testing.T) {
+	m := sprout.NewModel(sprout.Params{})
+	f := sprout.NewDeliveryForecaster(m)
+	for i := 0; i < 100; i++ {
+		f.Tick(6, sprout.ObsExact)
+	}
+	fc := f.Forecast(nil)
+	if len(fc) != 8 || fc[7] <= 0 {
+		t.Errorf("forecast = %v", fc)
+	}
+	e := sprout.NewEWMAForecaster(0, 0, 0)
+	e.Tick(6, sprout.ObsExact)
+	if e.Rate() != 6 {
+		t.Errorf("ewma rate = %v", e.Rate())
+	}
+	if sprout.DefaultParams().NumBins != 256 {
+		t.Error("default params wrong")
+	}
+	if len(sprout.Schemes()) != 10 {
+		t.Errorf("schemes = %v", sprout.Schemes())
+	}
+}
