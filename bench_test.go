@@ -18,8 +18,11 @@ import (
 	"sprout/internal/harness"
 )
 
-// benchOpt keeps macro-bench runs short but past warmup.
-var benchOpt = harness.Options{Duration: 60 * time.Second, Skip: 15 * time.Second}
+// benchOpt keeps macro-bench runs short but past warmup. Workers: 0 runs
+// each experiment's grid through the parallel engine on every core; the
+// reported metrics are identical at any worker count (the engine's
+// determinism guarantee), only the wall-clock changes.
+var benchOpt = harness.Options{Duration: 60 * time.Second, Skip: 15 * time.Second, Workers: 0}
 
 // BenchmarkFig1SkypeVsSprout regenerates the Figure 1 timeseries.
 func BenchmarkFig1SkypeVsSprout(b *testing.B) {
@@ -168,6 +171,28 @@ func BenchmarkTunnelIsolation(b *testing.B) {
 	b.ReportMetric(res.SkypeDelay95Tunnel.Seconds()*1000, "skype-tunnel-delay-ms")
 }
 
+// BenchmarkMatrixSerial and BenchmarkMatrixParallel run a reduced matrix
+// (three schemes × eight links) with one worker and with every core, so
+// `go test -bench Matrix` reports the engine's wall-clock speedup on this
+// machine. On a single-core container the two are equal.
+func benchmarkMatrix(b *testing.B, workers int) {
+	opt := benchOpt
+	opt.Duration, opt.Skip, opt.Workers = 30*time.Second, 8*time.Second, workers
+	var m *harness.Matrix
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = harness.RunMatrix(opt, []string{"sprout", "cubic", "skype"})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Stats.Engine.Workers), "workers")
+	b.ReportMetric(float64(m.Stats.TracesGenerated), "traces-generated")
+}
+
+func BenchmarkMatrixSerial(b *testing.B)   { benchmarkMatrix(b, 1) }
+func BenchmarkMatrixParallel(b *testing.B) { benchmarkMatrix(b, 0) }
+
 // BenchmarkCoreTick measures one inference update (evolve+observe), the
 // work Sprout does every 20 ms. The paper reports <5% of a 2012 core.
 func BenchmarkCoreTick(b *testing.B) {
@@ -175,6 +200,31 @@ func BenchmarkCoreTick(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Tick(6, sprout.ObsExact)
+	}
+}
+
+// BenchmarkCoreForecasterReuse measures standing up a forecaster when the
+// flattened CDF table already exists in the process-wide cache — the cost
+// every experiment job after the first pays per run (formerly a full
+// ~1 ms table build per run).
+func BenchmarkCoreForecasterReuse(b *testing.B) {
+	sprout.NewDeliveryForecaster(sprout.NewModel(sprout.Params{})) // warm the table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sprout.NewDeliveryForecaster(sprout.NewModel(sprout.Params{}))
+	}
+}
+
+// BenchmarkCoreForecasterClone measures the per-worker cost of giving a
+// parallel job its own filter state.
+func BenchmarkCoreForecasterClone(b *testing.B) {
+	f := sprout.NewDeliveryForecaster(sprout.NewModel(sprout.Params{}))
+	for i := 0; i < 200; i++ {
+		f.Tick(6, sprout.ObsExact)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Clone()
 	}
 }
 

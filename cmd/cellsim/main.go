@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"sprout/internal/codel"
+	"sprout/internal/engine"
 	"sprout/internal/link"
 	"sprout/internal/network"
 	"sprout/internal/realtime"
@@ -40,11 +42,12 @@ func main() {
 	prop := flag.Duration("prop", 20*time.Millisecond, "one-way propagation delay per direction")
 	loss := flag.Float64("loss", 0, "Bernoulli loss probability per direction")
 	useCodel := flag.Bool("codel", false, "apply CoDel on both queues")
-	seed := flag.Int64("seed", 1, "seed for generation and loss")
+	seed := flag.Int64("seed", 1, "seed for generation and loss (each direction derives its own stream; generated traces differ from pre-engine releases at the same seed)")
 	stats := flag.Duration("stats", 5*time.Second, "statistics reporting interval (0 disables)")
+	parallel := flag.Int("parallel", 0, "trace-generation workers for -gen: 0 = all cores, 1 = serial")
 	flag.Parse()
 
-	down, up, err := loadTraces(*downFile, *upFile, *gen, *genDur, *seed)
+	down, up, err := loadTraces(*downFile, *upFile, *gen, *genDur, *seed, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cellsim:", err)
 		os.Exit(1)
@@ -96,13 +99,11 @@ func main() {
 	select {} // run until killed
 }
 
-func loadTraces(downFile, upFile, gen string, genDur time.Duration, seed int64) (down, up *trace.Trace, err error) {
+func loadTraces(downFile, upFile, gen string, genDur time.Duration, seed int64, parallel int) (down, up *trace.Trace, err error) {
 	if gen != "" {
 		for _, p := range trace.CanonicalNetworks() {
 			if p.Name == gen {
-				down = p.Down.Generate(genDur, rand.New(rand.NewSource(seed)))
-				up = p.Up.Generate(genDur, rand.New(rand.NewSource(seed+1)))
-				return down, up, nil
+				return generateTraces(p, genDur, seed, parallel)
 			}
 		}
 		return nil, nil, fmt.Errorf("unknown network %q", gen)
@@ -116,6 +117,31 @@ func loadTraces(downFile, upFile, gen string, genDur time.Duration, seed int64) 
 	}
 	up, err = readTrace(upFile)
 	return down, up, err
+}
+
+// generateTraces synthesizes the two directions as parallel engine jobs.
+// Each direction owns an RNG derived from (seed, network, direction) —
+// independent streams regardless of scheduling — so long traces for fast
+// links generate at the speed of the slower core count allows.
+func generateTraces(p trace.NetworkPair, genDur time.Duration, seed int64, parallel int) (down, up *trace.Trace, err error) {
+	jobs := []engine.Job{
+		{Name: "downlink " + p.Down.Name, Run: func(context.Context) error {
+			rng := rand.New(rand.NewSource(engine.DeriveSeed(seed, p.Name, "down")))
+			down = p.Down.Generate(genDur, rng)
+			return nil
+		}},
+		{Name: "uplink " + p.Up.Name, Run: func(context.Context) error {
+			rng := rand.New(rand.NewSource(engine.DeriveSeed(seed, p.Name, "up")))
+			up = p.Up.Generate(genDur, rng)
+			return nil
+		}},
+	}
+	st, err := engine.New(parallel).Run(context.Background(), jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "cellsim: generated %v of traces (%s)\n", genDur, st)
+	return down, up, nil
 }
 
 func readTrace(path string) (*trace.Trace, error) {

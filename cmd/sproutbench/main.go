@@ -1,7 +1,7 @@
 // Command sproutbench regenerates every table and figure of the paper's
 // evaluation (§5) from the trace-driven emulator. Each experiment prints
 // an aligned text table; figures are emitted as their underlying data
-// series. See EXPERIMENTS.md for the mapping and the recorded outputs.
+// series. See DESIGN.md §7 for the experiment index.
 //
 // Usage:
 //
@@ -26,6 +26,7 @@ func main() {
 	duration := flag.Duration("duration", 150*time.Second, "virtual duration per run")
 	skip := flag.Duration("skip", 30*time.Second, "warmup excluded from metrics")
 	seed := flag.Int64("seed", 1, "random seed for traces and loss")
+	parallel := flag.Int("parallel", 0, "experiment workers: 0 = all cores, 1 = serial (results are identical either way)")
 	downFile := flag.String("down", "", "run every scheme on this mahimahi trace (data direction) instead of the canonical suite")
 	upFile := flag.String("up", "", "reverse-direction mahimahi trace (with -down)")
 	flag.Parse()
@@ -36,11 +37,11 @@ func main() {
 			os.Exit(2)
 		}
 		runCustomTraces(*downFile, *upFile,
-			harness.Options{Duration: *duration, Skip: *skip, Seed: *seed})
+			harness.Options{Duration: *duration, Skip: *skip, Seed: *seed, Workers: *parallel})
 		return
 	}
 
-	opt := harness.Options{Duration: *duration, Skip: *skip, Seed: *seed}
+	opt := harness.Options{Duration: *duration, Skip: *skip, Seed: *seed, Workers: *parallel}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runFlag, ",") {
 		want[strings.TrimSpace(name)] = true
@@ -56,6 +57,8 @@ func main() {
 		m, err := harness.RunMatrix(opt, nil)
 		check(err)
 		matrix = m
+		fmt.Fprintf(os.Stderr, "matrix: %s; trace pairs: %d generated, %d served from cache\n",
+			m.Stats.Engine, m.Stats.TracesGenerated, m.Stats.TracesReused)
 	}
 
 	if all || want["fig1"] {
@@ -119,15 +122,8 @@ func runCustomTraces(downPath, upPath string, opt harness.Options) {
 	data, fb := load(downPath), load(upPath)
 	fmt.Fprintf(os.Stderr, "sproutbench: %s (%.0f kbps mean) with feedback on %s (%.0f kbps mean)\n",
 		data.Name, data.MeanRateBps()/1000, fb.Name, fb.MeanRateBps()/1000)
-	var cells []harness.Cell
-	for _, s := range harness.Schemes() {
-		res, err := harness.Run(harness.Config{
-			Scheme: s, DataTrace: data, FeedbackTrace: fb,
-			Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
-		})
-		check(err)
-		cells = append(cells, harness.CellOf(res))
-	}
+	cells, err := harness.RunSchemesOnPair(opt, data, fb)
+	check(err)
 	fmt.Print(harness.FormatCells(data.Name, cells))
 }
 

@@ -1,0 +1,3 @@
+module sprout
+
+go 1.24

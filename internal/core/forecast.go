@@ -2,60 +2,164 @@ package core
 
 import (
 	"math"
+	"sync"
 	"time"
 
 	"sprout/internal/stats"
 )
+
+// forecastTable is the precomputed Poisson CDF table behind the cautious
+// forecast. It is immutable once built, so one table is shared by every
+// forecaster (and every Clone) whose model has the same table-shaping
+// parameters; a process running thousands of parallel experiments builds
+// it exactly once per parameter set.
+//
+// The entries are stored in a single contiguous slice laid out so that a
+// mixture-CDF evaluation at a fixed (tick, count) reads the bin dimension
+// consecutively:
+//
+//	flat[off[i] + k*bins + j] = P(C <= k | λ = bin j at tick i+1)
+//
+// Each tick has its own count bound maxK[i] ≈ MaxRate·(i+1)·τ (padded 25%
+// plus a constant so quantile scans never clip): early ticks store and
+// scan far fewer counts than the horizon tick needs.
+type forecastTable struct {
+	bins int
+	flat []float64
+	off  []int
+	maxK []int
+}
+
+// row returns the bins-long CDF slice at (tick, count k).
+func (t *forecastTable) row(tick, k int) []float64 {
+	base := t.off[tick] + k*t.bins
+	return t.flat[base : base+t.bins]
+}
+
+func buildForecastTable(binRate []float64, tau float64, ticks int, maxRate float64) *forecastTable {
+	t := &forecastTable{
+		bins: len(binRate),
+		off:  make([]int, ticks),
+		maxK: make([]int, ticks),
+	}
+	total := 0
+	for i := 0; i < ticks; i++ {
+		t.off[i] = total
+		t.maxK[i] = int(maxRate*tau*float64(i+1)*1.25) + 10
+		total += (t.maxK[i] + 1) * t.bins
+	}
+	t.flat = make([]float64, total)
+	for i := 0; i < ticks; i++ {
+		horizon := float64(i+1) * tau
+		for j, r := range binRate {
+			cdf := stats.PoissonCDFTable(r*horizon, t.maxK[i])
+			for k, v := range cdf {
+				t.flat[t.off[i]+k*t.bins+j] = v
+			}
+		}
+	}
+	return t
+}
+
+// tableKey captures exactly the parameters the table depends on: the bin
+// grid (NumBins + MaxRate determine binRate), the tick length and the
+// horizon. Confidence does not shape the table, so the §5.5 sweep shares
+// one table across all its runs.
+type tableKey struct {
+	bins    int
+	ticks   int
+	maxRate float64
+	tick    time.Duration
+}
+
+// tableCacheLimit bounds the process-wide cache: a table at the default
+// parameters holds ~300k float64s (~2.4 MB), and entries are never
+// evicted, so a library consumer sweeping a table-shaping parameter past
+// this many distinct values gets uncached (per-forecaster) tables rather
+// than unbounded retained memory.
+const tableCacheLimit = 16
+
+var (
+	tableMu    sync.Mutex
+	tableCache = map[tableKey]*forecastTable{}
+)
+
+func forecastTableFor(m *Model) *forecastTable {
+	key := tableKey{
+		bins:    m.NumBins(),
+		ticks:   m.p.ForecastTicks,
+		maxRate: m.p.MaxRate,
+		tick:    m.p.Tick,
+	}
+	tableMu.Lock()
+	if t, ok := tableCache[key]; ok {
+		tableMu.Unlock()
+		return t
+	}
+	tableMu.Unlock()
+	// Build outside the lock so slow builds for different keys proceed in
+	// parallel; concurrent builders of the same key race benignly (both
+	// tables are identical, the first to store wins).
+	t := buildForecastTable(m.binRate, m.p.Tick.Seconds(), m.p.ForecastTicks, m.p.MaxRate)
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	if cached, ok := tableCache[key]; ok {
+		return cached
+	}
+	if len(tableCache) < tableCacheLimit {
+		tableCache[key] = t
+	}
+	return t
+}
 
 // DeliveryForecaster produces Sprout's cautious packet-delivery forecast
 // (§3.3): for each of the next HorizonTicks ticks, a lower bound Q_i such
 // that the cumulative number of packets delivered by tick i meets or
 // exceeds Q_i with probability at least Confidence.
 //
-// As in the paper, nearly everything is precomputed: a table of Poisson
-// CDFs indexed by (tick, rate bin) is built once at construction, so a
-// runtime forecast is only a kernel evolution of the current posterior plus
-// weighted sums over the 256 bins.
+// As in the paper, nearly everything is precomputed: the Poisson CDF table
+// indexed by (tick, count, rate bin) is built once per parameter set and
+// shared process-wide, so a runtime forecast is only a kernel evolution of
+// the current posterior plus weighted sums over the 256 bins.
 //
 // The cumulative count by future tick i, conditioned on the rate path, is a
 // Poisson with mean ∫λ dt. Following the paper's "sum over each λ" step we
 // approximate the path integral by λ_i · i·τ where λ_i is the rate at tick
 // i drawn from the evolved (observation-free) posterior; the Brownian
 // evolution itself carries the uncertainty between ticks.
+//
+// A DeliveryForecaster is not safe for concurrent use, but Clone returns
+// an independent copy (sharing only the immutable table) so each worker in
+// a parallel experiment owns its own filter state.
 type DeliveryForecaster struct {
 	model *Model
-
-	// cdf[i][j] is the Poisson CDF table for mean binRate[j]*(i+1)*τ:
-	// cdf[i][j][k] = P(C <= k | λ = bin j at tick i+1).
-	cdf  [][][]float64
-	maxK int
+	tbl   *forecastTable
 
 	// scratch buffers for the observation-free evolution.
 	cur, next []float64
 }
 
-// NewDeliveryForecaster builds the forecaster and its tables for the model.
+// NewDeliveryForecaster builds the forecaster for the model, reusing the
+// process-wide CDF table when one with matching parameters exists.
 func NewDeliveryForecaster(m *Model) *DeliveryForecaster {
-	p := m.p
-	tau := p.Tick.Seconds()
-	// Largest plausible cumulative count: max rate over the full horizon,
-	// padded 25% so quantile scans never clip.
-	maxK := int(p.MaxRate*tau*float64(p.ForecastTicks)*1.25) + 10
-	f := &DeliveryForecaster{
+	return &DeliveryForecaster{
 		model: m,
-		maxK:  maxK,
+		tbl:   forecastTableFor(m),
 		cur:   make([]float64, m.NumBins()),
 		next:  make([]float64, m.NumBins()),
 	}
-	f.cdf = make([][][]float64, p.ForecastTicks)
-	for i := 0; i < p.ForecastTicks; i++ {
-		f.cdf[i] = make([][]float64, m.NumBins())
-		horizon := float64(i+1) * tau
-		for j := 0; j < m.NumBins(); j++ {
-			f.cdf[i][j] = stats.PoissonCDFTable(m.binRate[j]*horizon, maxK)
-		}
+}
+
+// Clone returns an independent forecaster whose model and scratch state
+// are deep-copied while the immutable CDF table is shared. The clone may
+// be Ticked concurrently with the original.
+func (f *DeliveryForecaster) Clone() *DeliveryForecaster {
+	return &DeliveryForecaster{
+		model: f.model.Clone(),
+		tbl:   f.tbl,
+		cur:   make([]float64, len(f.cur)),
+		next:  make([]float64, len(f.next)),
 	}
-	return f
 }
 
 // Model returns the underlying Bayesian filter.
@@ -104,30 +208,32 @@ func (f *DeliveryForecaster) ForecastAt(dst []float64, confidence float64) []flo
 	for i := 0; i < f.model.p.ForecastTicks; i++ {
 		evolveInto(f.next, f.cur, f.model.kernel, f.model.radius, f.model.outageStay)
 		f.cur, f.next = f.next, f.cur
-		q := f.mixtureQuantile(i, p)
-		if q < prev {
-			q = prev // cumulative forecast must be nondecreasing
-		}
-		prev = q
-		dst = append(dst, float64(q))
+		prev = f.mixtureQuantileFrom(i, p, prev)
+		dst = append(dst, float64(prev))
 	}
 	return dst
 }
 
-// mixtureQuantile returns the largest count q such that
-// P(C_i >= q) >= 1-p, i.e. the first k whose mixture CDF exceeds p.
-func (f *DeliveryForecaster) mixtureQuantile(tick int, p float64) int {
-	table := f.cdf[tick]
-	weights := f.cur
-	// F(k) = Σ_j w_j · table[j][k] is nondecreasing in k; binary search
-	// for the first k with F(k) > p, then the cautious bound is that k.
-	lo, hi := 0, f.maxK
-	if f.mixtureCDF(table, weights, 0) > p {
-		return 0
+// mixtureQuantileFrom returns max(lo0, q) where q is the smallest count
+// whose mixture CDF exceeds p — the cautious bound at the given tick,
+// already clamped to the nondecreasing cumulative forecast. Since the
+// caller discards any quantile below the previous tick's bound, the
+// binary search warm-starts at lo0 and is capped by the precomputed
+// per-tick count bound.
+func (f *DeliveryForecaster) mixtureQuantileFrom(tick int, p float64, lo0 int) int {
+	hi := f.tbl.maxK[tick]
+	if lo0 >= hi {
+		return lo0
 	}
+	// F(k) = Σ_j w_j · cdf[k][j] is nondecreasing in k; find the first k
+	// in (lo0, hi] with F(k) > p, unless F(lo0) already exceeds p.
+	if f.mixtureCDF(tick, lo0) > p {
+		return lo0
+	}
+	lo := lo0
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
-		if f.mixtureCDF(table, weights, mid) > p {
+		if f.mixtureCDF(tick, mid) > p {
 			hi = mid
 		} else {
 			lo = mid
@@ -136,13 +242,13 @@ func (f *DeliveryForecaster) mixtureQuantile(tick int, p float64) int {
 	return hi
 }
 
-func (f *DeliveryForecaster) mixtureCDF(table [][]float64, weights []float64, k int) float64 {
+func (f *DeliveryForecaster) mixtureCDF(tick, k int) float64 {
+	row := f.tbl.row(tick, k)
 	var s float64
-	for j, w := range weights {
-		if w == 0 {
-			continue
+	for j, w := range f.cur {
+		if w != 0 {
+			s += w * row[j]
 		}
-		s += w * table[j][k]
 	}
 	return s
 }

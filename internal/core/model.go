@@ -58,6 +58,18 @@ func NewModel(p Params) *Model {
 	return m
 }
 
+// Clone returns an independent copy of the filter: the posterior and
+// scratch buffers are deep-copied, while the bin grid and transition
+// kernel — which are never mutated in place (SetSigma installs a fresh
+// kernel) — are shared. Clones may be Ticked concurrently.
+func (m *Model) Clone() *Model {
+	c := *m
+	c.probs = append([]float64(nil), m.probs...)
+	c.scratch = make([]float64, len(m.scratch))
+	c.logw = make([]float64, len(m.logw))
+	return &c
+}
+
 // Params returns the (defaulted) parameters the model was built with.
 func (m *Model) Params() Params { return m.p }
 

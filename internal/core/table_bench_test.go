@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+// BenchmarkBuildForecastTable is the cold cost of the flattened CDF
+// table — paid once per process per parameter set, where it used to be
+// paid by every NewDeliveryForecaster.
+func BenchmarkBuildForecastTable(b *testing.B) {
+	p := DefaultParams()
+	m := NewModel(Params{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buildForecastTable(m.binRate, p.Tick.Seconds(), p.ForecastTicks, p.MaxRate)
+	}
+}
+
+// BenchmarkMixtureQuantile isolates the flattened-table quantile scan that
+// Forecast performs once per horizon tick.
+func BenchmarkMixtureQuantile(b *testing.B) {
+	f := trainedForecaster(b, 300, 12)
+	copy(f.cur, f.model.probs)
+	p := 1 - DefaultConfidence
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.mixtureQuantileFrom(i%DefaultForecastTicks, p, 0)
+	}
+}
+
+func BenchmarkModelClone(b *testing.B) {
+	m := NewModel(Params{})
+	for i := 0; i < 100; i++ {
+		m.Tick(6)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Clone()
+	}
+}

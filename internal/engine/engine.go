@@ -1,0 +1,230 @@
+// Package engine executes independent trace-driven simulations on a
+// worker pool with results that are byte-identical to a serial run.
+//
+// The paper's evaluation is a grid of scheme × link × scenario
+// experiments, every one of which is a self-contained virtual-time
+// simulation: given its config and seed it touches no global state. That
+// makes the grid embarrassingly parallel — provided three disciplines the
+// engine enforces or supports:
+//
+//   - results are collected by job index, never by completion order, so
+//     the assembled output cannot depend on scheduling;
+//   - every job derives its randomness from its own seed (DeriveSeed)
+//     rather than drawing from a shared *rand.Rand, so interleaving
+//     cannot perturb any job's random stream;
+//   - expensive shared inputs (the canonical traces) are built once in a
+//     single-flight Cache and shared read-only, instead of once per job
+//     or — worse — mutated concurrently.
+package engine
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one unit of work: a self-contained simulation. Run must not
+// share mutable state with any other job; all randomness must derive
+// from a job-local seed (see DeriveSeed).
+type Job struct {
+	// Name identifies the job in errors and diagnostics,
+	// e.g. "sprout on Verizon LTE Downlink".
+	Name string
+	// Run executes the simulation, storing its result wherever the
+	// closure points (typically an indexed slot owned by this job).
+	// It should return promptly when ctx is cancelled.
+	Run func(ctx context.Context) error
+}
+
+// Stats summarizes one Run call.
+type Stats struct {
+	// Jobs is how many jobs were submitted; Completed how many actually
+	// ran (cancellation can skip the tail of the queue).
+	Jobs, Completed int
+	// Workers is the pool size used.
+	Workers int
+	// Wall is the elapsed wall-clock time of the whole Run.
+	Wall time.Duration
+}
+
+func (s Stats) String() string {
+	plural := "s"
+	if s.Workers == 1 {
+		plural = ""
+	}
+	return fmt.Sprintf("%d jobs on %d worker%s in %v", s.Completed, s.Workers, plural, s.Wall.Round(time.Millisecond))
+}
+
+// Engine is a deterministic parallel runner. The zero value is not
+// usable; construct with New.
+type Engine struct {
+	workers int
+}
+
+// New returns an engine with the given pool size. workers <= 0 selects
+// GOMAXPROCS; workers == 1 degenerates to a serial loop.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Run executes the jobs and blocks until all have finished or been
+// skipped. The first error in job order is returned, wrapped with the
+// job's name, and cancels the jobs that have not yet started; jobs that
+// merely report context.Canceled after that cancellation never mask the
+// triggering error. A cancelled ctx has the same effect; jobs already
+// running are expected to honour it.
+func (e *Engine) Run(ctx context.Context, jobs []Job) (Stats, error) {
+	start := time.Now()
+	stats := Stats{Jobs: len(jobs)}
+	if len(jobs) == 0 {
+		return stats, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	stats.Workers = workers // the pool actually spawned, post-clamp
+	errs := make([]error, len(jobs))
+	ran := make([]bool, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain without running
+				}
+				ran[i] = true
+				if err := jobs[i].Run(ctx); err != nil {
+					errs[i] = fmt.Errorf("%s: %w", jobs[i].Name, err)
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, r := range ran {
+		if r {
+			stats.Completed++
+		}
+	}
+	stats.Wall = time.Since(start)
+	// Report the root cause, not the fallout: a job that honours ctx and
+	// returns context.Canceled after another job's failure triggered the
+	// cancellation must not mask the real error just because it sits
+	// earlier in job order.
+	var cancelled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			if cancelled == nil {
+				cancelled = err
+			}
+			continue
+		}
+		return stats, err
+	}
+	if cancelled != nil {
+		return stats, cancelled
+	}
+	return stats, ctx.Err()
+}
+
+// DeriveSeed maps a base seed plus a job identity to a deterministic,
+// well-mixed seed. Jobs that would serially have shared one RNG (or used
+// adjacent low-entropy seeds) each get an independent stream that does
+// not depend on scheduling order.
+func DeriveSeed(base int64, parts ...string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	s := int64(h.Sum64() &^ (1 << 63)) // non-negative
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// Cache memoizes expensive shared inputs across jobs — canonically the
+// generated traces, which every scheme on a link shares. Concurrent Get
+// calls with the same key run gen exactly once (single flight) and all
+// receive the same value; values must therefore be treated as read-only
+// by every job.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	once sync.Once
+	val  any
+	ok   bool // gen returned normally; false means it panicked
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{entries: map[string]*cacheEntry{}} }
+
+// Get returns the cached value for key, running gen to produce it if
+// this is the first request. gen runs outside the cache lock, so slow
+// generations for different keys proceed in parallel.
+func (c *Cache) Get(key string, gen func() any) any {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.val = gen()
+		e.ok = true
+	})
+	if !e.ok {
+		// gen panicked (in this goroutine the panic is already
+		// propagating; this is for the waiters that were blocked in
+		// once.Do): fail loudly rather than silently handing out nil.
+		panic(fmt.Sprintf("engine: cache generator for key %q panicked", key))
+	}
+	return e.val
+}
+
+// Counts reports cache traffic: misses is how many distinct keys were
+// generated, hits how many Gets were served from an existing entry.
+func (c *Cache) Counts() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

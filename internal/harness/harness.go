@@ -140,12 +140,15 @@ type pathEnv struct {
 	fwd, rev         *link.Link
 	onFwd, onRev     network.Handler
 	fwdAQM, revAQM   *codel.CoDel
-	rng              *rand.Rand
 	propagationDelay time.Duration
 }
 
+// buildPath constructs the bidirectional emulated path. All randomness is
+// job-local: each link's loss RNG is freshly derived from cfg.Seed here,
+// inside the job, so concurrent experiment jobs never share a *rand.Rand
+// (see internal/engine's package doc for the determinism contract).
 func buildPath(loop *sim.Loop, cfg Config) *pathEnv {
-	env := &pathEnv{rng: rand.New(rand.NewSource(cfg.Seed)), propagationDelay: cfg.PropDelay}
+	env := &pathEnv{propagationDelay: cfg.PropDelay}
 	var fwdDeq, revDeq link.Dequeuer
 	if schemeUsesCoDel(cfg.Scheme) {
 		env.fwdAQM = codel.New(0, 0)

@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"context"
 	"time"
 
+	"sprout/internal/engine"
 	"sprout/internal/link"
 	"sprout/internal/metrics"
 	"sprout/internal/network"
@@ -80,8 +82,23 @@ func RunMultiSprout(opt Options, n int) (MultiSproutResult, error) {
 		return per, delay, dl
 	}
 
-	soloPer, soloDelay, _ := runN(1)
-	per, delay, _ := runN(n)
+	// The solo reference and the n-flow run are independent simulations
+	// over the same read-only traces: run them as parallel jobs.
+	var soloPer, per []float64
+	var soloDelay, delay time.Duration
+	jobs := []engine.Job{
+		{Name: "solo", Run: func(context.Context) error {
+			soloPer, soloDelay, _ = runN(1)
+			return nil
+		}},
+		{Name: "shared", Run: func(context.Context) error {
+			per, delay, _ = runN(n)
+			return nil
+		}},
+	}
+	if _, err := runJobs(opt, jobs); err != nil {
+		return MultiSproutResult{}, err
+	}
 
 	res := MultiSproutResult{
 		PerFlowKbps: per,

@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
 	"time"
 
+	"sprout/internal/engine"
 	"sprout/internal/stats"
 	"sprout/internal/trace"
 )
@@ -18,6 +20,34 @@ type Options struct {
 	Duration, Skip time.Duration
 	// Seed drives trace generation and all stochastic components.
 	Seed int64
+	// Workers bounds experiment-level parallelism: 0 uses every core
+	// (GOMAXPROCS), 1 forces serial execution. Every experiment is a
+	// self-contained simulation with job-local randomness, so results
+	// are identical at any setting.
+	Workers int
+}
+
+// runJobs executes independent experiment jobs through the engine.
+func runJobs(opt Options, jobs []engine.Job) (engine.Stats, error) {
+	return engine.New(opt.Workers).Run(context.Background(), jobs)
+}
+
+// tracePair is a cached data/feedback trace pair.
+type tracePair struct {
+	data, feedback *trace.Trace
+}
+
+// cachedTracePair returns the trace pair for one network and direction,
+// generating it at most once per cache regardless of how many concurrent
+// jobs ask for it. Traces are immutable after generation, so jobs share
+// them freely.
+func cachedTracePair(c *engine.Cache, pair trace.NetworkPair, dir string, d time.Duration, seed int64) (data, feedback *trace.Trace) {
+	key := fmt.Sprintf("%s/%s/%d/%d", pair.Name, dir, d, seed)
+	tp := c.Get(key, func() any {
+		data, fb := GenerateTracePair(pair, dir, d, seed)
+		return tracePair{data, fb}
+	}).(tracePair)
+	return tp.data, tp.feedback
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +80,15 @@ type Cell struct {
 	MeanDelayMs     float64
 }
 
+// RunStats reports how the engine executed a suite run.
+type RunStats struct {
+	// Engine summarizes the worker-pool execution.
+	Engine engine.Stats
+	// TracesGenerated counts distinct trace pairs built;
+	// TracesReused counts jobs served from the shared cache.
+	TracesGenerated, TracesReused int
+}
+
 // Matrix holds the full schemes × links result grid that Figure 7,
 // Table 1, Table 2 and Figure 8 are all derived from.
 type Matrix struct {
@@ -58,38 +97,79 @@ type Matrix struct {
 	Links []string
 	// Cells maps link name -> scheme -> cell.
 	Cells map[string]map[string]Cell
+	// Stats describes the execution (not part of the scientific result:
+	// two runs with different Workers produce equal Links and Cells but
+	// different Stats).
+	Stats RunStats
 }
 
 // RunMatrix executes every scheme over every canonical link (8 links ×
-// len(schemes) runs). Each scheme sees identical trace pairs.
+// len(schemes) runs) through the parallel engine. Each scheme sees
+// identical trace pairs: the pair for each link is generated once in a
+// shared cache, not once per scheme. Results are independent of
+// opt.Workers.
 func RunMatrix(opt Options, schemes []string) (*Matrix, error) {
 	opt = opt.withDefaults()
 	if len(schemes) == 0 {
 		schemes = Schemes()
 	}
 	m := &Matrix{Options: opt, Cells: make(map[string]map[string]Cell)}
+	type linkSpec struct {
+		name string
+		pair trace.NetworkPair
+		dir  string
+	}
+	var links []linkSpec
 	for _, pair := range trace.CanonicalNetworks() {
 		for _, dir := range []string{"down", "up"} {
-			name := LinkName(pair.Name, dir)
-			m.Links = append(m.Links, name)
-			data, fb := GenerateTracePair(pair, dir, opt.Duration, opt.Seed)
-			row := make(map[string]Cell, len(schemes))
-			for _, s := range schemes {
-				res, err := Run(Config{
-					Scheme:        s,
-					DataTrace:     data,
-					FeedbackTrace: fb,
-					Duration:      opt.Duration,
-					Skip:          opt.Skip,
-					Seed:          opt.Seed,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("%s on %s: %w", s, name, err)
-				}
-				row[s] = toCell(res)
-			}
-			m.Cells[name] = row
+			links = append(links, linkSpec{LinkName(pair.Name, dir), pair, dir})
 		}
+	}
+	for _, l := range links {
+		m.Links = append(m.Links, l.name)
+	}
+	traces := engine.NewCache()
+	cells := make([]Cell, len(links)*len(schemes))
+	jobs := make([]engine.Job, 0, len(cells))
+	// Enqueue scheme-major: the first len(links) jobs each touch a
+	// different link, so at startup every worker generates a distinct
+	// trace pair instead of piling onto one link's single-flight entry.
+	for si, s := range schemes {
+		for li, l := range links {
+			li, si, l, s := li, si, l, s
+			jobs = append(jobs, engine.Job{
+				Name: fmt.Sprintf("%s on %s", s, l.name),
+				Run: func(context.Context) error {
+					data, fb := cachedTracePair(traces, l.pair, l.dir, opt.Duration, opt.Seed)
+					res, err := Run(Config{
+						Scheme:        s,
+						DataTrace:     data,
+						FeedbackTrace: fb,
+						Duration:      opt.Duration,
+						Skip:          opt.Skip,
+						Seed:          opt.Seed,
+					})
+					if err != nil {
+						return err
+					}
+					cells[li*len(schemes)+si] = toCell(res)
+					return nil
+				},
+			})
+		}
+	}
+	st, err := runJobs(opt, jobs)
+	if err != nil {
+		return nil, err
+	}
+	hits, misses := traces.Counts()
+	m.Stats = RunStats{Engine: st, TracesGenerated: misses, TracesReused: hits}
+	for li, l := range links {
+		row := make(map[string]Cell, len(schemes))
+		for si, s := range schemes {
+			row[s] = cells[li*len(schemes)+si]
+		}
+		m.Cells[l.name] = row
 	}
 	return m, nil
 }
@@ -102,6 +182,37 @@ func toCell(r Result) Cell {
 		Utilization:     r.Utilization,
 		MeanDelayMs:     float64(r.MeanDelay) / float64(time.Millisecond),
 	}
+}
+
+// RunSchemesOnPair runs every scheme over one user-supplied trace pair
+// (sproutbench's custom-trace mode) as parallel engine jobs, returning
+// one cell per scheme in Schemes() order.
+func RunSchemesOnPair(opt Options, data, fb *trace.Trace) ([]Cell, error) {
+	opt = opt.withDefaults()
+	schemes := Schemes()
+	cells := make([]Cell, len(schemes))
+	jobs := make([]engine.Job, len(schemes))
+	for i, s := range schemes {
+		i, s := i, s
+		jobs[i] = engine.Job{
+			Name: fmt.Sprintf("%s on %s", s, data.Name),
+			Run: func(context.Context) error {
+				res, err := Run(Config{
+					Scheme: s, DataTrace: data, FeedbackTrace: fb,
+					Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
+				})
+				if err != nil {
+					return err
+				}
+				cells[i] = toCell(res)
+				return nil
+			},
+		}
+	}
+	if _, err := runJobs(opt, jobs); err != nil {
+		return nil, err
+	}
+	return cells, nil
 }
 
 // SummaryRow is one line of the intro tables: a scheme's average speedup
@@ -185,7 +296,8 @@ func (m *Matrix) Fig8(schemes []string) []Fig8Row {
 }
 
 // Fig9 runs the confidence-parameter sweep on the T-Mobile 3G uplink
-// (§5.5): Sprout at 95/75/50/25/5% confidence plus all baselines.
+// (§5.5): Sprout at 95/75/50/25/5% confidence plus all baselines, all in
+// parallel over one shared trace pair.
 func Fig9(opt Options) ([]Cell, error) {
 	opt = opt.withDefaults()
 	var pair trace.NetworkPair
@@ -195,32 +307,49 @@ func Fig9(opt Options) ([]Cell, error) {
 		}
 	}
 	data, fb := GenerateTracePair(pair, "up", opt.Duration, opt.Seed)
-	var cells []Cell
+	type variant struct {
+		label      string
+		scheme     string
+		confidence float64
+	}
+	var variants []variant
 	for _, conf := range []float64{0.95, 0.75, 0.50, 0.25, 0.05} {
-		res, err := Run(Config{
-			Scheme: "sprout", Confidence: conf,
-			DataTrace: data, FeedbackTrace: fb,
-			Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
+		variants = append(variants, variant{
+			label:      fmt.Sprintf("sprout-%d%%", int(conf*100)),
+			scheme:     "sprout",
+			confidence: conf,
 		})
-		if err != nil {
-			return nil, err
-		}
-		c := toCell(res)
-		c.Scheme = fmt.Sprintf("sprout-%d%%", int(conf*100))
-		cells = append(cells, c)
 	}
 	for _, s := range Schemes() {
 		if s == "sprout" {
 			continue
 		}
-		res, err := Run(Config{
-			Scheme: s, DataTrace: data, FeedbackTrace: fb,
-			Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
-		})
-		if err != nil {
-			return nil, err
+		variants = append(variants, variant{label: s, scheme: s})
+	}
+	cells := make([]Cell, len(variants))
+	jobs := make([]engine.Job, len(variants))
+	for i, v := range variants {
+		i, v := i, v
+		jobs[i] = engine.Job{
+			Name: v.label,
+			Run: func(context.Context) error {
+				res, err := Run(Config{
+					Scheme: v.scheme, Confidence: v.confidence,
+					DataTrace: data, FeedbackTrace: fb,
+					Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
+				})
+				if err != nil {
+					return err
+				}
+				c := toCell(res)
+				c.Scheme = v.label
+				cells[i] = c
+				return nil
+			},
 		}
-		cells = append(cells, toCell(res))
+	}
+	if _, err := runJobs(opt, jobs); err != nil {
+		return nil, err
 	}
 	return cells, nil
 }
@@ -234,29 +363,44 @@ type LossRow struct {
 }
 
 // LossTable runs Sprout over the Verizon LTE trace pair with 0%, 5% and
-// 10% Bernoulli loss in each direction (§5.6).
+// 10% Bernoulli loss in each direction (§5.6), six independent jobs over
+// two cached trace pairs.
 func LossTable(opt Options) ([]LossRow, error) {
 	opt = opt.withDefaults()
 	pair := trace.CanonicalNetworks()[0] // Verizon LTE
-	var rows []LossRow
-	for _, dir := range []string{"down", "up"} {
-		data, fb := GenerateTracePair(pair, dir, opt.Duration, opt.Seed)
-		for _, loss := range []float64{0, 0.05, 0.10} {
-			res, err := Run(Config{
-				Scheme: "sprout", LossRate: loss,
-				DataTrace: data, FeedbackTrace: fb,
-				Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, LossRow{
-				Direction:       map[string]string{"down": "Downlink", "up": "Uplink"}[dir],
-				LossPct:         int(loss * 100),
-				ThroughputKbps:  res.ThroughputBps / 1000,
-				SelfInflictedMs: float64(res.SelfInflicted95) / float64(time.Millisecond),
+	dirs := []string{"down", "up"}
+	losses := []float64{0, 0.05, 0.10}
+	traces := engine.NewCache()
+	rows := make([]LossRow, len(dirs)*len(losses))
+	var jobs []engine.Job
+	for di, dir := range dirs {
+		for li, loss := range losses {
+			di, li, dir, loss := di, li, dir, loss
+			jobs = append(jobs, engine.Job{
+				Name: fmt.Sprintf("sprout %s %.0f%% loss", dir, loss*100),
+				Run: func(context.Context) error {
+					data, fb := cachedTracePair(traces, pair, dir, opt.Duration, opt.Seed)
+					res, err := Run(Config{
+						Scheme: "sprout", LossRate: loss,
+						DataTrace: data, FeedbackTrace: fb,
+						Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
+					})
+					if err != nil {
+						return err
+					}
+					rows[di*len(losses)+li] = LossRow{
+						Direction:       map[string]string{"down": "Downlink", "up": "Uplink"}[dir],
+						LossPct:         int(loss * 100),
+						ThroughputKbps:  res.ThroughputBps / 1000,
+						SelfInflictedMs: float64(res.SelfInflicted95) / float64(time.Millisecond),
+					}
+					return nil
+				},
 			})
 		}
+	}
+	if _, err := runJobs(opt, jobs); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -278,29 +422,34 @@ func Fig1(opt Options) ([]Fig1Point, error) {
 	opt = opt.withDefaults()
 	pair := trace.CanonicalNetworks()[0]
 	data, fb := GenerateTracePair(pair, "down", opt.Duration, opt.Seed)
-	run := func(scheme string) ([]linkDelivery, error) {
-		cfg := Config{
-			Scheme: scheme, DataTrace: data, FeedbackTrace: fb,
-			Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
-		}.withDefaults()
-		dl, err := runCollect(cfg)
-		if err != nil {
-			return nil, err
+	series := make([][]linkDelivery, 2)
+	jobs := make([]engine.Job, 2)
+	for i, scheme := range []string{"sprout", "skype"} {
+		i, scheme := i, scheme
+		jobs[i] = engine.Job{
+			Name: scheme,
+			Run: func(context.Context) error {
+				cfg := Config{
+					Scheme: scheme, DataTrace: data, FeedbackTrace: fb,
+					Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
+				}.withDefaults()
+				dl, err := runCollect(cfg)
+				if err != nil {
+					return err
+				}
+				out := make([]linkDelivery, len(dl))
+				for k, d := range dl {
+					out[k] = linkDelivery{sent: d.SentAt, delivered: d.DeliveredAt, size: d.Size}
+				}
+				series[i] = out
+				return nil
+			},
 		}
-		out := make([]linkDelivery, len(dl))
-		for i, d := range dl {
-			out[i] = linkDelivery{sent: d.SentAt, delivered: d.DeliveredAt, size: d.Size}
-		}
-		return out, nil
 	}
-	sprout, err := run("sprout")
-	if err != nil {
+	if _, err := runJobs(opt, jobs); err != nil {
 		return nil, err
 	}
-	skype, err := run("skype")
-	if err != nil {
-		return nil, err
-	}
+	sprout, skype := series[0], series[1]
 	secs := int(opt.Duration / time.Second)
 	pts := make([]Fig1Point, 0, secs)
 	for s := 0; s < secs; s++ {
@@ -409,7 +558,3 @@ func FormatCells(title string, cells []Cell) string {
 	}
 	return b.String()
 }
-
-// CellOf converts a single run's result into a table cell (exported for
-// cmd/sproutbench's custom-trace mode).
-func CellOf(r Result) Cell { return toCell(r) }

@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"context"
 	"time"
 
 	"sprout/internal/app"
+	"sprout/internal/engine"
 	"sprout/internal/link"
 	"sprout/internal/metrics"
 	"sprout/internal/network"
@@ -35,25 +37,33 @@ const (
 // header (26 B) plus the Sprout header (76 B) must fit the link MTU.
 const tunnelClientMSS = 1300
 
-// RunTunnelComparison executes both halves of the §5.7 experiment.
+// RunTunnelComparison executes both halves of the §5.7 experiment as
+// parallel engine jobs over one shared trace pair.
 func RunTunnelComparison(opt Options) (TunnelResult, error) {
 	opt = opt.withDefaults()
 	pair := trace.CanonicalNetworks()[0] // Verizon LTE
 	data, fb := GenerateTracePair(pair, "down", opt.Duration, opt.Seed)
 
 	var out TunnelResult
-	{
-		cubic, skype, skypeDelay := runDirectCompeting(opt, data, fb)
-		out.CubicKbpsDirect = cubic
-		out.SkypeKbpsDirect = skype
-		out.SkypeDelay95Direct = skypeDelay
+	jobs := []engine.Job{
+		{Name: "direct", Run: func(context.Context) error {
+			cubic, skype, skypeDelay := runDirectCompeting(opt, data, fb)
+			out.CubicKbpsDirect = cubic
+			out.SkypeKbpsDirect = skype
+			out.SkypeDelay95Direct = skypeDelay
+			return nil
+		}},
+		{Name: "tunneled", Run: func(context.Context) error {
+			cubic, skype, skypeDelay, drops := runTunneledCompeting(opt, data, fb)
+			out.CubicKbpsTunnel = cubic
+			out.SkypeKbpsTunnel = skype
+			out.SkypeDelay95Tunnel = skypeDelay
+			out.TunnelHeadDrops = drops
+			return nil
+		}},
 	}
-	{
-		cubic, skype, skypeDelay, drops := runTunneledCompeting(opt, data, fb)
-		out.CubicKbpsTunnel = cubic
-		out.SkypeKbpsTunnel = skype
-		out.SkypeDelay95Tunnel = skypeDelay
-		out.TunnelHeadDrops = drops
+	if _, err := runJobs(opt, jobs); err != nil {
+		return TunnelResult{}, err
 	}
 	return out, nil
 }

@@ -22,7 +22,9 @@
 //   - SproutTunnel (TunnelIngress/TunnelEgress) for carrying arbitrary
 //     flows with per-flow isolation;
 //   - the experiment harness that regenerates every table and figure of
-//     the paper (RunExperiment, RunMatrix, and friends).
+//     the paper (RunExperiment, RunMatrix, and friends), backed by a
+//     deterministic parallel engine: set SuiteOptions.Workers (0 = all
+//     cores) and results stay byte-identical to a serial run.
 //
 // See examples/ for runnable programs and DESIGN.md for the architecture
 // and the per-experiment index.
