@@ -3,13 +3,20 @@
 // an aligned text table; figures are emitted as their underlying data
 // series. See DESIGN.md §7 for the experiment index.
 //
+// Beyond the paper's grid, -scenario runs arbitrary experiment specs from
+// a JSON file through the same parallel engine, and -list-schemes
+// enumerates the scheme registry.
+//
 // Usage:
 //
 //	sproutbench -run all
 //	sproutbench -run table1,fig8 -duration 150s -seed 1
+//	sproutbench -scenario scenarios.json -parallel 0
+//	sproutbench -list-schemes
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +24,7 @@ import (
 	"time"
 
 	"sprout/internal/harness"
+	"sprout/internal/scenario"
 	"sprout/internal/trace"
 )
 
@@ -29,7 +37,19 @@ func main() {
 	parallel := flag.Int("parallel", 0, "experiment workers: 0 = all cores, 1 = serial (results are identical either way)")
 	downFile := flag.String("down", "", "run every scheme on this mahimahi trace (data direction) instead of the canonical suite")
 	upFile := flag.String("up", "", "reverse-direction mahimahi trace (with -down)")
+	scenarioFile := flag.String("scenario", "", "run the experiment specs in this JSON scenario file instead of the canonical suite")
+	listSchemes := flag.Bool("list-schemes", false, "list every registered scheme and exit")
 	flag.Parse()
+
+	if *listSchemes {
+		runListSchemes()
+		return
+	}
+	if *scenarioFile != "" {
+		runScenarioFile(*scenarioFile,
+			harness.Options{Duration: *duration, Skip: *skip, Seed: *seed, Workers: *parallel})
+		return
+	}
 
 	if *downFile != "" || *upFile != "" {
 		if *downFile == "" || *upFile == "" {
@@ -125,6 +145,79 @@ func runCustomTraces(downPath, upPath string, opt harness.Options) {
 	cells, err := harness.RunSchemesOnPair(opt, data, fb)
 	check(err)
 	fmt.Print(harness.FormatCells(data.Name, cells))
+}
+
+// runListSchemes prints the scheme registry: what -scenario specs and the
+// canonical grids can name.
+func runListSchemes() {
+	fmt.Printf("%-16s %-6s %-6s %s\n", "scheme", "extra", "codel", "description")
+	for _, s := range scenario.Schemes() {
+		mark := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return ""
+		}
+		fmt.Printf("%-16s %-6s %-6s %s\n", s.Name, mark(s.Extra), mark(s.UsesCoDel), s.Description)
+	}
+	fmt.Printf("\ncanonical links (scenario \"link\" field): %s\n",
+		strings.Join(scenario.NetworkNames(), ", "))
+}
+
+// runScenarioFile executes every spec in a JSON scenario file through the
+// parallel engine. CLI -duration/-skip/-seed fill only fields the file
+// leaves unset.
+func runScenarioFile(path string, opt harness.Options) {
+	specs, err := scenario.LoadFile(path)
+	check(err)
+	for i := range specs {
+		if specs[i].Duration == 0 {
+			specs[i].Duration = scenario.Duration(opt.Duration)
+		}
+		if specs[i].Skip == 0 {
+			specs[i].Skip = scenario.Duration(opt.Skip)
+		}
+		if specs[i].Seed == 0 {
+			specs[i].Seed = opt.Seed
+		}
+	}
+	results, stats, err := scenario.RunAll(context.Background(), specs, opt.Workers)
+	check(err)
+	fmt.Fprintf(os.Stderr, "scenarios: %s\n", stats)
+
+	header(fmt.Sprintf("Scenarios from %s", path))
+	fmt.Printf("%-40s %12s %16s %6s %12s\n", "scenario", "tput (kbps)", "self-delay (ms)", "util", "delay95 (ms)")
+	for _, r := range results {
+		tputKbps := r.Metrics.ThroughputBps / 1000
+		selfMs := fmt.Sprintf("%.0f", float64(r.Metrics.SelfInflicted95)/float64(time.Millisecond))
+		util := fmt.Sprintf("%.2f", r.Metrics.Utilization)
+		if r.Spec.Tunnel {
+			// Tunnel runs have no link-level aggregate metrics (the
+			// link carries Sprout frames, not client data): sum the
+			// client flows for throughput and leave the trace-relative
+			// columns blank rather than printing zeros that read as
+			// perfect scores.
+			tputKbps = 0
+			for _, f := range r.Flows {
+				tputKbps += f.ThroughputBps / 1000
+			}
+			selfMs, util = "-", "-"
+		}
+		fmt.Printf("%-40s %12.0f %16s %6s %12.0f\n",
+			r.Spec.Label(), tputKbps, selfMs, util,
+			float64(r.Delay95)/float64(time.Millisecond))
+		if len(r.Flows) > 1 {
+			for _, f := range r.Flows {
+				fmt.Printf("    flow %-3d %-12s %12.0f %29s %12.0f\n",
+					f.Flow, f.Scheme, f.ThroughputBps/1000, "",
+					float64(f.Delay95)/float64(time.Millisecond))
+			}
+			fmt.Printf("    Jain fairness %.3f\n", r.JainIndex)
+		}
+		if r.Spec.Tunnel {
+			fmt.Printf("    tunnel head drops: %d\n", r.HeadDrops)
+		}
+	}
 }
 
 func check(err error) {

@@ -1,32 +1,25 @@
-// Package harness orchestrates the paper's experiments: it wires a scheme's
-// endpoints to a trace-driven emulated path (Cellsim), runs the session in
-// virtual time, and evaluates the §5.1 metrics. Every table and figure in
-// the evaluation is regenerated through this package (see suite.go and the
+// Package harness orchestrates the paper's experiments: each table and
+// figure entry point is a thin builder that emits internal/scenario Specs
+// and evaluates the §5.1 metrics on the results. The scheme constructors,
+// path emulation and spec-to-job compilation live in internal/scenario;
+// the parallel execution in internal/engine (see suite.go and the
 // experiment index in DESIGN.md).
 package harness
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"time"
 
-	"sprout/internal/app"
-	"sprout/internal/codel"
-	"sprout/internal/core"
-	"sprout/internal/link"
 	"sprout/internal/metrics"
-	"sprout/internal/network"
-	"sprout/internal/sim"
-	"sprout/internal/tcp"
+	"sprout/internal/scenario"
 	"sprout/internal/trace"
-	"sprout/internal/transport"
 )
 
 // Config describes one experiment run: a scheme moving bulk data in one
 // direction over a trace pair.
 type Config struct {
-	// Scheme is one of Schemes().
+	// Scheme is one of Schemes() or ExtraSchemes().
 	Scheme string
 	// DataTrace drives the link carrying the scheme's data; FeedbackTrace
 	// drives the reverse link (ACKs, receiver reports, forecasts).
@@ -64,216 +57,53 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// spec translates the config into a scenario spec.
+func (c Config) spec() scenario.Spec {
+	return scenario.Spec{
+		Scheme:        c.Scheme,
+		DataTrace:     c.DataTrace,
+		FeedbackTrace: c.FeedbackTrace,
+		Duration:      scenario.Duration(c.Duration),
+		Skip:          scenario.Duration(c.Skip),
+		PropDelay:     scenario.Duration(c.PropDelay),
+		Loss:          c.LossRate,
+		Confidence:    c.Confidence,
+		Seed:          c.Seed,
+	}
+}
+
 // Result is the outcome of one run.
 type Result struct {
 	Scheme string
 	metrics.Result
 }
 
-// Schemes returns every supported scheme name, in the order the paper's
-// figures list them.
-func Schemes() []string {
-	return []string{
-		"sprout", "sprout-ewma",
-		"skype", "hangout", "facetime",
-		"cubic", "cubic-codel",
-		"vegas", "compound", "ledbat",
-	}
-}
+// Schemes returns the paper's scheme names, in the order its figures list
+// them, from the scenario registry.
+func Schemes() []string { return scenario.PaperSchemes() }
 
-// ExtraSchemes lists buildable schemes beyond the paper's ten: the
+// ExtraSchemes lists registered schemes beyond the paper's ten: the
 // adaptive-σ extension (§3.1's "vary slowly with time") and plain Reno.
-func ExtraSchemes() []string { return []string{"sprout-adaptive", "reno"} }
-
-// knownScheme reports whether name is buildable.
-func knownScheme(name string) bool {
-	for _, s := range Schemes() {
-		if s == name {
-			return true
-		}
-	}
-	for _, s := range ExtraSchemes() {
-		if s == name {
-			return true
-		}
-	}
-	return false
-}
+func ExtraSchemes() []string { return scenario.ExtraSchemes() }
 
 // Run executes one experiment and returns its metrics.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	if !knownScheme(cfg.Scheme) {
-		return Result{}, fmt.Errorf("harness: unknown scheme %q", cfg.Scheme)
-	}
 	if cfg.DataTrace == nil || cfg.FeedbackTrace == nil {
 		return Result{}, fmt.Errorf("harness: traces required")
 	}
-	loop := sim.New()
-	env := buildPath(loop, cfg)
-	if err := attachScheme(cfg.Scheme, loop, env, cfg); err != nil {
+	out, err := scenario.Run(cfg.spec(), nil)
+	if err != nil {
 		return Result{}, err
 	}
-	loop.Run(cfg.Duration)
-	res := metrics.Evaluate(env.fwd.Deliveries(), cfg.DataTrace, cfg.PropDelay, cfg.Skip, cfg.Duration)
-	return Result{Scheme: cfg.Scheme, Result: res}, nil
-}
-
-// runCollect runs a (defaulted) config and returns the raw data-direction
-// delivery log, for experiments needing timeseries rather than aggregates.
-func runCollect(cfg Config) ([]link.Delivery, error) {
-	if !knownScheme(cfg.Scheme) {
-		return nil, fmt.Errorf("harness: unknown scheme %q", cfg.Scheme)
-	}
-	loop := sim.New()
-	env := buildPath(loop, cfg)
-	if err := attachScheme(cfg.Scheme, loop, env, cfg); err != nil {
-		return nil, err
-	}
-	loop.Run(cfg.Duration)
-	return env.fwd.Deliveries(), nil
-}
-
-// pathEnv holds the emulated bidirectional path with late-bound delivery
-// handlers, so endpoints and links can reference each other.
-type pathEnv struct {
-	fwd, rev         *link.Link
-	onFwd, onRev     network.Handler
-	fwdAQM, revAQM   *codel.CoDel
-	propagationDelay time.Duration
-}
-
-// buildPath constructs the bidirectional emulated path. All randomness is
-// job-local: each link's loss RNG is freshly derived from cfg.Seed here,
-// inside the job, so concurrent experiment jobs never share a *rand.Rand
-// (see internal/engine's package doc for the determinism contract).
-func buildPath(loop *sim.Loop, cfg Config) *pathEnv {
-	env := &pathEnv{propagationDelay: cfg.PropDelay}
-	var fwdDeq, revDeq link.Dequeuer
-	if schemeUsesCoDel(cfg.Scheme) {
-		env.fwdAQM = codel.New(0, 0)
-		env.revAQM = codel.New(0, 0)
-		fwdDeq, revDeq = env.fwdAQM, env.revAQM
-	}
-	env.fwd = link.New(loop, link.Config{
-		Trace:            cfg.DataTrace,
-		PropagationDelay: cfg.PropDelay,
-		LossRate:         cfg.LossRate,
-		Dequeuer:         fwdDeq,
-		Rand:             rand.New(rand.NewSource(cfg.Seed + 1000)),
-	}, func(p *network.Packet) {
-		if env.onFwd != nil {
-			env.onFwd(p)
-		}
-	})
-	env.fwd.RecordDeliveries(true)
-	env.rev = link.New(loop, link.Config{
-		Trace:            cfg.FeedbackTrace,
-		PropagationDelay: cfg.PropDelay,
-		LossRate:         cfg.LossRate,
-		Dequeuer:         revDeq,
-		Rand:             rand.New(rand.NewSource(cfg.Seed + 2000)),
-	}, func(p *network.Packet) {
-		if env.onRev != nil {
-			env.onRev(p)
-		}
-	})
-	return env
-}
-
-func schemeUsesCoDel(name string) bool { return name == "cubic-codel" }
-
-// attachScheme instantiates the scheme's endpoints on the path.
-func attachScheme(name string, loop *sim.Loop, env *pathEnv, cfg Config) error {
-	switch name {
-	case "sprout", "sprout-ewma", "sprout-adaptive":
-		var fc core.Forecaster
-		params := core.Params{}
-		if cfg.Confidence != 0 {
-			params.Confidence = cfg.Confidence
-		}
-		switch name {
-		case "sprout-ewma":
-			fc = core.NewEWMAForecaster(0, 0, 0)
-		case "sprout-adaptive":
-			fc = core.NewAdaptiveForecaster(core.NewModel(params), core.AdaptiveConfig{})
-		default:
-			fc = core.NewDeliveryForecaster(core.NewModel(params))
-		}
-		rcv := transport.NewReceiver(transport.ReceiverConfig{
-			Clock: loop, Conn: env.rev, Forecaster: fc,
-		})
-		snd := transport.NewSender(transport.SenderConfig{
-			Clock: loop, Conn: env.fwd,
-		})
-		env.onFwd = rcv.Receive
-		env.onRev = snd.Receive
-	case "cubic", "cubic-codel", "vegas", "compound", "ledbat", "reno":
-		cc := newCC(name, loop)
-		rcv := tcp.NewReceiver(1, loop, env.rev)
-		sc := tcp.SenderConfig{Flow: 1, Clock: loop, Conn: env.fwd, CC: cc}
-		if name == "compound" {
-			// The paper's Compound endpoint is Windows 7, whose
-			// receive-window autotuning is far more conservative
-			// than Linux's (~256 kB vs ~4 MB); without this the
-			// deep-buffer queue is receive-window-bound and
-			// Compound would be indistinguishable from Cubic.
-			sc.MaxWindow = 170
-		}
-		snd := tcp.NewSender(sc)
-		env.onFwd = rcv.Receive
-		env.onRev = snd.Receive
-	case "skype", "hangout", "facetime":
-		profile := appProfile(name)
-		rcv := app.NewReceiver(1, profile, loop, env.rev)
-		snd := app.NewSender(1, profile, loop, env.fwd)
-		env.onFwd = rcv.Receive
-		env.onRev = snd.Receive
-	default:
-		return fmt.Errorf("harness: unknown scheme %q", name)
-	}
-	return nil
-}
-
-func newCC(name string, loop *sim.Loop) tcp.CongestionControl {
-	switch name {
-	case "cubic", "cubic-codel":
-		return tcp.NewCubic(loop.Now)
-	case "vegas":
-		return tcp.NewVegas()
-	case "compound":
-		return tcp.NewCompound()
-	case "ledbat":
-		return tcp.NewLEDBAT()
-	default:
-		return tcp.NewRenoCC()
-	}
-}
-
-func appProfile(name string) app.Profile {
-	switch name {
-	case "skype":
-		return app.Skype()
-	case "hangout":
-		return app.Hangout()
-	default:
-		return app.Facetime()
-	}
+	return Result{Scheme: cfg.Scheme, Result: out.Metrics}, nil
 }
 
 // GenerateTracePair deterministically generates the data/feedback trace
 // pair for one network and direction. direction is "down" (data on the
 // downlink) or "up".
 func GenerateTracePair(pair trace.NetworkPair, direction string, d time.Duration, seed int64) (data, feedback *trace.Trace) {
-	margin := d + 10*time.Second
-	downRng := rand.New(rand.NewSource(seed*31 + 7))
-	upRng := rand.New(rand.NewSource(seed*31 + 8))
-	down := pair.Down.Generate(margin, downRng)
-	up := pair.Up.Generate(margin, upRng)
-	if direction == "up" {
-		return up, down
-	}
-	return down, up
+	return scenario.GenerateTracePair(pair, direction, d, seed)
 }
 
 // SortSchemesByDelay orders results by self-inflicted delay ascending

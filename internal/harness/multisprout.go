@@ -1,16 +1,10 @@
 package harness
 
 import (
-	"context"
 	"time"
 
-	"sprout/internal/engine"
-	"sprout/internal/link"
-	"sprout/internal/metrics"
-	"sprout/internal/network"
-	"sprout/internal/sim"
+	"sprout/internal/scenario"
 	"sprout/internal/trace"
-	"sprout/internal/transport"
 )
 
 // MultiSproutResult reports N concurrent Sprout sessions sharing one
@@ -35,7 +29,9 @@ type MultiSproutResult struct {
 
 // RunMultiSprout runs n concurrent Sprout bulk sessions over one shared
 // Verizon LTE downlink (plus a solo reference run) and reports fairness
-// and delay.
+// and delay. Both runs are one-line scenario specs differing only in the
+// flow count, executed as parallel engine jobs over the same read-only
+// traces.
 func RunMultiSprout(opt Options, n int) (MultiSproutResult, error) {
 	opt = opt.withDefaults()
 	if n < 1 {
@@ -44,76 +40,35 @@ func RunMultiSprout(opt Options, n int) (MultiSproutResult, error) {
 	pair := trace.CanonicalNetworks()[0]
 	data, fb := GenerateTracePair(pair, "down", opt.Duration, opt.Seed)
 
-	runN := func(count int) ([]float64, time.Duration, []link.Delivery) {
-		loop := sim.New()
-		rcvs := make([]*transport.Receiver, count)
-		snds := make([]*transport.Sender, count)
-		fwd := link.New(loop, link.Config{
-			Trace: data, PropagationDelay: 20 * time.Millisecond,
-		}, func(p *network.Packet) {
-			if int(p.Flow) < count {
-				rcvs[p.Flow].Receive(p)
-			}
-		})
-		fwd.RecordDeliveries(true)
-		rev := link.New(loop, link.Config{
-			Trace: fb, PropagationDelay: 20 * time.Millisecond,
-		}, func(p *network.Packet) {
-			if int(p.Flow) < count {
-				snds[p.Flow].Receive(p)
-			}
-		})
-		for i := 0; i < count; i++ {
-			flow := uint32(i)
-			rcvs[i] = transport.NewReceiver(transport.ReceiverConfig{
-				Flow: flow, Clock: loop, Conn: rev,
-			})
-			snds[i] = transport.NewSender(transport.SenderConfig{
-				Flow: flow, Clock: loop, Conn: fwd,
-			})
-		}
-		loop.Run(opt.Duration)
-		dl := fwd.Deliveries()
-		per := make([]float64, count)
-		for i := 0; i < count; i++ {
-			per[i] = metrics.Throughput(metrics.FilterFlow(dl, uint32(i)), opt.Skip, opt.Duration) / 1000
-		}
-		delay := metrics.EndToEndDelay(dl, opt.Skip, opt.Duration, 0.95)
-		return per, delay, dl
+	mkSpec := func(name string, flows int) scenario.Spec {
+		spec := opt.baseSpec()
+		spec.Name = name
+		spec.Scheme = "sprout"
+		spec.Flows = flows
+		spec.DataTrace, spec.FeedbackTrace = data, fb
+		return spec
 	}
-
-	// The solo reference and the n-flow run are independent simulations
-	// over the same read-only traces: run them as parallel jobs.
-	var soloPer, per []float64
-	var soloDelay, delay time.Duration
-	jobs := []engine.Job{
-		{Name: "solo", Run: func(context.Context) error {
-			soloPer, soloDelay, _ = runN(1)
-			return nil
-		}},
-		{Name: "shared", Run: func(context.Context) error {
-			per, delay, _ = runN(n)
-			return nil
-		}},
-	}
-	if _, err := runJobs(opt, jobs); err != nil {
+	results, _, err := runSpecs(opt, []scenario.Spec{mkSpec("solo", 1), mkSpec("shared", n)}, nil)
+	if err != nil {
 		return MultiSproutResult{}, err
 	}
+	solo, shared := results[0], results[1]
 
 	res := MultiSproutResult{
-		PerFlowKbps: per,
-		Delay95:     delay,
-		SoloKbps:    soloPer[0],
-		SoloDelay95: soloDelay,
+		Delay95:     shared.Delay95,
+		SoloKbps:    solo.Flows[0].ThroughputBps / 1000,
+		SoloDelay95: solo.Delay95,
 	}
 	var sum, sumSq float64
-	for _, p := range per {
-		sum += p
-		sumSq += p * p
+	for _, f := range shared.Flows {
+		kbps := f.ThroughputBps / 1000
+		res.PerFlowKbps = append(res.PerFlowKbps, kbps)
+		sum += kbps
+		sumSq += kbps * kbps
 	}
 	res.AggregateKbps = sum
 	if sumSq > 0 {
-		res.JainIndex = sum * sum / (float64(len(per)) * sumSq)
+		res.JainIndex = sum * sum / (float64(len(res.PerFlowKbps)) * sumSq)
 	}
 	return res, nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sprout/internal/engine"
+	"sprout/internal/scenario"
 	"sprout/internal/stats"
 	"sprout/internal/trace"
 )
@@ -27,29 +28,6 @@ type Options struct {
 	Workers int
 }
 
-// runJobs executes independent experiment jobs through the engine.
-func runJobs(opt Options, jobs []engine.Job) (engine.Stats, error) {
-	return engine.New(opt.Workers).Run(context.Background(), jobs)
-}
-
-// tracePair is a cached data/feedback trace pair.
-type tracePair struct {
-	data, feedback *trace.Trace
-}
-
-// cachedTracePair returns the trace pair for one network and direction,
-// generating it at most once per cache regardless of how many concurrent
-// jobs ask for it. Traces are immutable after generation, so jobs share
-// them freely.
-func cachedTracePair(c *engine.Cache, pair trace.NetworkPair, dir string, d time.Duration, seed int64) (data, feedback *trace.Trace) {
-	key := fmt.Sprintf("%s/%s/%d/%d", pair.Name, dir, d, seed)
-	tp := c.Get(key, func() any {
-		data, fb := GenerateTracePair(pair, dir, d, seed)
-		return tracePair{data, fb}
-	}).(tracePair)
-	return tp.data, tp.feedback
-}
-
 func (o Options) withDefaults() Options {
 	if o.Duration == 0 {
 		o.Duration = 150 * time.Second
@@ -61,6 +39,27 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// baseSpec seeds a scenario spec with the suite-wide options; builders
+// fill in scheme, link and impairments.
+func (o Options) baseSpec() scenario.Spec {
+	return scenario.Spec{
+		Duration: scenario.Duration(o.Duration),
+		Skip:     scenario.Duration(o.Skip),
+		Seed:     o.Seed,
+	}
+}
+
+// runSpecs compiles specs to engine jobs and executes them on the suite's
+// worker pool. traces may be nil for a private cache.
+func runSpecs(opt Options, specs []scenario.Spec, traces *engine.Cache) ([]scenario.Result, engine.Stats, error) {
+	jobs, results, _ := scenario.CompileJobs(specs, traces)
+	st, err := engine.New(opt.Workers).Run(context.Background(), jobs)
+	if err != nil {
+		return nil, st, err
+	}
+	return results, st, nil
 }
 
 // LinkName formats a (network, direction) pair the way Figure 7 does.
@@ -128,37 +127,22 @@ func RunMatrix(opt Options, schemes []string) (*Matrix, error) {
 	for _, l := range links {
 		m.Links = append(m.Links, l.name)
 	}
-	traces := engine.NewCache()
-	cells := make([]Cell, len(links)*len(schemes))
-	jobs := make([]engine.Job, 0, len(cells))
 	// Enqueue scheme-major: the first len(links) jobs each touch a
 	// different link, so at startup every worker generates a distinct
 	// trace pair instead of piling onto one link's single-flight entry.
-	for si, s := range schemes {
-		for li, l := range links {
-			li, si, l, s := li, si, l, s
-			jobs = append(jobs, engine.Job{
-				Name: fmt.Sprintf("%s on %s", s, l.name),
-				Run: func(context.Context) error {
-					data, fb := cachedTracePair(traces, l.pair, l.dir, opt.Duration, opt.Seed)
-					res, err := Run(Config{
-						Scheme:        s,
-						DataTrace:     data,
-						FeedbackTrace: fb,
-						Duration:      opt.Duration,
-						Skip:          opt.Skip,
-						Seed:          opt.Seed,
-					})
-					if err != nil {
-						return err
-					}
-					cells[li*len(schemes)+si] = toCell(res)
-					return nil
-				},
-			})
+	specs := make([]scenario.Spec, 0, len(links)*len(schemes))
+	for _, s := range schemes {
+		for _, l := range links {
+			spec := opt.baseSpec()
+			spec.Name = fmt.Sprintf("%s on %s", s, l.name)
+			spec.Scheme = s
+			spec.Link = l.pair.Name
+			spec.Direction = l.dir
+			specs = append(specs, spec)
 		}
 	}
-	st, err := runJobs(opt, jobs)
+	traces := engine.NewCache()
+	results, st, err := runSpecs(opt, specs, traces)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +151,7 @@ func RunMatrix(opt Options, schemes []string) (*Matrix, error) {
 	for li, l := range links {
 		row := make(map[string]Cell, len(schemes))
 		for si, s := range schemes {
-			row[s] = cells[li*len(schemes)+si]
+			row[s] = cellFromScenario(results[si*len(links)+li], s)
 		}
 		m.Cells[l.name] = row
 	}
@@ -184,33 +168,39 @@ func toCell(r Result) Cell {
 	}
 }
 
+// cellFromScenario projects a scenario result to a figure cell under the
+// given display label.
+func cellFromScenario(r scenario.Result, label string) Cell {
+	return Cell{
+		Scheme:          label,
+		ThroughputKbps:  r.Metrics.ThroughputBps / 1000,
+		SelfInflictedMs: float64(r.Metrics.SelfInflicted95) / float64(time.Millisecond),
+		Utilization:     r.Metrics.Utilization,
+		MeanDelayMs:     float64(r.Metrics.MeanDelay) / float64(time.Millisecond),
+	}
+}
+
 // RunSchemesOnPair runs every scheme over one user-supplied trace pair
 // (sproutbench's custom-trace mode) as parallel engine jobs, returning
 // one cell per scheme in Schemes() order.
 func RunSchemesOnPair(opt Options, data, fb *trace.Trace) ([]Cell, error) {
 	opt = opt.withDefaults()
 	schemes := Schemes()
-	cells := make([]Cell, len(schemes))
-	jobs := make([]engine.Job, len(schemes))
+	specs := make([]scenario.Spec, len(schemes))
 	for i, s := range schemes {
-		i, s := i, s
-		jobs[i] = engine.Job{
-			Name: fmt.Sprintf("%s on %s", s, data.Name),
-			Run: func(context.Context) error {
-				res, err := Run(Config{
-					Scheme: s, DataTrace: data, FeedbackTrace: fb,
-					Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
-				})
-				if err != nil {
-					return err
-				}
-				cells[i] = toCell(res)
-				return nil
-			},
-		}
+		spec := opt.baseSpec()
+		spec.Name = fmt.Sprintf("%s on %s", s, data.Name)
+		spec.Scheme = s
+		spec.DataTrace, spec.FeedbackTrace = data, fb
+		specs[i] = spec
 	}
-	if _, err := runJobs(opt, jobs); err != nil {
+	results, _, err := runSpecs(opt, specs, nil)
+	if err != nil {
 		return nil, err
+	}
+	cells := make([]Cell, len(schemes))
+	for i, s := range schemes {
+		cells[i] = cellFromScenario(results[i], s)
 	}
 	return cells, nil
 }
@@ -307,49 +297,32 @@ func Fig9(opt Options) ([]Cell, error) {
 		}
 	}
 	data, fb := GenerateTracePair(pair, "up", opt.Duration, opt.Seed)
-	type variant struct {
-		label      string
-		scheme     string
-		confidence float64
-	}
-	var variants []variant
+	var specs []scenario.Spec
 	for _, conf := range []float64{0.95, 0.75, 0.50, 0.25, 0.05} {
-		variants = append(variants, variant{
-			label:      fmt.Sprintf("sprout-%d%%", int(conf*100)),
-			scheme:     "sprout",
-			confidence: conf,
-		})
+		spec := opt.baseSpec()
+		spec.Name = fmt.Sprintf("sprout-%d%%", int(conf*100))
+		spec.Scheme = "sprout"
+		spec.Confidence = conf
+		spec.DataTrace, spec.FeedbackTrace = data, fb
+		specs = append(specs, spec)
 	}
 	for _, s := range Schemes() {
 		if s == "sprout" {
 			continue
 		}
-		variants = append(variants, variant{label: s, scheme: s})
+		spec := opt.baseSpec()
+		spec.Name = s
+		spec.Scheme = s
+		spec.DataTrace, spec.FeedbackTrace = data, fb
+		specs = append(specs, spec)
 	}
-	cells := make([]Cell, len(variants))
-	jobs := make([]engine.Job, len(variants))
-	for i, v := range variants {
-		i, v := i, v
-		jobs[i] = engine.Job{
-			Name: v.label,
-			Run: func(context.Context) error {
-				res, err := Run(Config{
-					Scheme: v.scheme, Confidence: v.confidence,
-					DataTrace: data, FeedbackTrace: fb,
-					Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
-				})
-				if err != nil {
-					return err
-				}
-				c := toCell(res)
-				c.Scheme = v.label
-				cells[i] = c
-				return nil
-			},
-		}
-	}
-	if _, err := runJobs(opt, jobs); err != nil {
+	results, _, err := runSpecs(opt, specs, nil)
+	if err != nil {
 		return nil, err
+	}
+	cells := make([]Cell, len(specs))
+	for i, spec := range specs {
+		cells[i] = cellFromScenario(results[i], spec.Name)
 	}
 	return cells, nil
 }
@@ -370,37 +343,30 @@ func LossTable(opt Options) ([]LossRow, error) {
 	pair := trace.CanonicalNetworks()[0] // Verizon LTE
 	dirs := []string{"down", "up"}
 	losses := []float64{0, 0.05, 0.10}
-	traces := engine.NewCache()
-	rows := make([]LossRow, len(dirs)*len(losses))
-	var jobs []engine.Job
-	for di, dir := range dirs {
-		for li, loss := range losses {
-			di, li, dir, loss := di, li, dir, loss
-			jobs = append(jobs, engine.Job{
-				Name: fmt.Sprintf("sprout %s %.0f%% loss", dir, loss*100),
-				Run: func(context.Context) error {
-					data, fb := cachedTracePair(traces, pair, dir, opt.Duration, opt.Seed)
-					res, err := Run(Config{
-						Scheme: "sprout", LossRate: loss,
-						DataTrace: data, FeedbackTrace: fb,
-						Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
-					})
-					if err != nil {
-						return err
-					}
-					rows[di*len(losses)+li] = LossRow{
-						Direction:       map[string]string{"down": "Downlink", "up": "Uplink"}[dir],
-						LossPct:         int(loss * 100),
-						ThroughputKbps:  res.ThroughputBps / 1000,
-						SelfInflictedMs: float64(res.SelfInflicted95) / float64(time.Millisecond),
-					}
-					return nil
-				},
-			})
+	var specs []scenario.Spec
+	for _, dir := range dirs {
+		for _, loss := range losses {
+			spec := opt.baseSpec()
+			spec.Name = fmt.Sprintf("sprout %s %.0f%% loss", dir, loss*100)
+			spec.Scheme = "sprout"
+			spec.Link = pair.Name
+			spec.Direction = dir
+			spec.Loss = loss
+			specs = append(specs, spec)
 		}
 	}
-	if _, err := runJobs(opt, jobs); err != nil {
+	results, _, err := runSpecs(opt, specs, nil)
+	if err != nil {
 		return nil, err
+	}
+	rows := make([]LossRow, len(specs))
+	for i, spec := range specs {
+		rows[i] = LossRow{
+			Direction:       map[string]string{"down": "Downlink", "up": "Uplink"}[spec.Direction],
+			LossPct:         int(spec.Loss * 100),
+			ThroughputKbps:  results[i].Metrics.ThroughputBps / 1000,
+			SelfInflictedMs: float64(results[i].Metrics.SelfInflicted95) / float64(time.Millisecond),
+		}
 	}
 	return rows, nil
 }
@@ -422,32 +388,26 @@ func Fig1(opt Options) ([]Fig1Point, error) {
 	opt = opt.withDefaults()
 	pair := trace.CanonicalNetworks()[0]
 	data, fb := GenerateTracePair(pair, "down", opt.Duration, opt.Seed)
-	series := make([][]linkDelivery, 2)
-	jobs := make([]engine.Job, 2)
+	specs := make([]scenario.Spec, 2)
 	for i, scheme := range []string{"sprout", "skype"} {
-		i, scheme := i, scheme
-		jobs[i] = engine.Job{
-			Name: scheme,
-			Run: func(context.Context) error {
-				cfg := Config{
-					Scheme: scheme, DataTrace: data, FeedbackTrace: fb,
-					Duration: opt.Duration, Skip: opt.Skip, Seed: opt.Seed,
-				}.withDefaults()
-				dl, err := runCollect(cfg)
-				if err != nil {
-					return err
-				}
-				out := make([]linkDelivery, len(dl))
-				for k, d := range dl {
-					out[k] = linkDelivery{sent: d.SentAt, delivered: d.DeliveredAt, size: d.Size}
-				}
-				series[i] = out
-				return nil
-			},
-		}
+		spec := opt.baseSpec()
+		spec.Name = scheme
+		spec.Scheme = scheme
+		spec.DataTrace, spec.FeedbackTrace = data, fb
+		spec.KeepDeliveries = true
+		specs[i] = spec
 	}
-	if _, err := runJobs(opt, jobs); err != nil {
+	results, _, err := runSpecs(opt, specs, nil)
+	if err != nil {
 		return nil, err
+	}
+	series := make([][]linkDelivery, 2)
+	for i, res := range results {
+		out := make([]linkDelivery, len(res.Deliveries))
+		for k, d := range res.Deliveries {
+			out[k] = linkDelivery{sent: d.SentAt, delivered: d.DeliveredAt, size: d.Size}
+		}
+		series[i] = out
 	}
 	sprout, skype := series[0], series[1]
 	secs := int(opt.Duration / time.Second)
@@ -514,8 +474,11 @@ func Fig2(opt Options) (Fig2Data, error) {
 	opt = opt.withDefaults()
 	model, _ := trace.CanonicalLink("Verizon-LTE-down")
 	// Longer than the experiment runs: Figure 2 is about distribution
-	// tails, which need samples.
-	tr := model.Generate(10*opt.Duration, rand.New(rand.NewSource(opt.Seed*7+3)))
+	// tails, which need samples. The trace RNG derives through
+	// engine.DeriveSeed like every other job's randomness, so seed
+	// derivation stays uniform and auditable across the suite.
+	rng := rand.New(rand.NewSource(engine.DeriveSeed(opt.Seed, "fig2", model.Name)))
+	tr := model.Generate(10*opt.Duration, rng)
 	gaps := tr.Interarrivals()
 	if len(gaps) == 0 {
 		return Fig2Data{}, fmt.Errorf("fig2: empty trace")

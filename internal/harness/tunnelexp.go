@@ -1,19 +1,11 @@
 package harness
 
 import (
-	"context"
+	"fmt"
 	"time"
 
-	"sprout/internal/app"
-	"sprout/internal/engine"
-	"sprout/internal/link"
-	"sprout/internal/metrics"
-	"sprout/internal/network"
-	"sprout/internal/sim"
-	"sprout/internal/tcp"
+	"sprout/internal/scenario"
 	"sprout/internal/trace"
-	"sprout/internal/transport"
-	"sprout/internal/tunnel"
 )
 
 // TunnelResult is the §5.7 comparison: a TCP Cubic bulk download competing
@@ -27,191 +19,73 @@ type TunnelResult struct {
 	TunnelHeadDrops                  int64
 }
 
-// Client flow identifiers inside the shared link / tunnel.
+// Client flow identifiers inside the shared link / tunnel. The historical
+// ids are pinned in the specs so regenerated tables stay byte-identical.
 const (
 	flowCubic = 10
 	flowSkype = 20
 )
 
-// tunnelClientMSS is the client packet size inside the tunnel: the frame
-// header (26 B) plus the Sprout header (76 B) must fit the link MTU.
-const tunnelClientMSS = 1300
+// tunnelClientMSS keeps the historical name for the tunnel client packet
+// size (see scenario.TunnelClientMSS for the rationale).
+const tunnelClientMSS = scenario.TunnelClientMSS
 
-// RunTunnelComparison executes both halves of the §5.7 experiment as
-// parallel engine jobs over one shared trace pair.
+// RunTunnelComparison executes both halves of the §5.7 experiment: the
+// same two-group scenario spec (Cubic bulk + Skype call on one Verizon LTE
+// downlink), once direct and once with Tunnel set, as parallel engine jobs
+// over one shared trace pair.
 func RunTunnelComparison(opt Options) (TunnelResult, error) {
 	opt = opt.withDefaults()
 	pair := trace.CanonicalNetworks()[0] // Verizon LTE
 	data, fb := GenerateTracePair(pair, "down", opt.Duration, opt.Seed)
 
-	var out TunnelResult
-	jobs := []engine.Job{
-		{Name: "direct", Run: func(context.Context) error {
-			cubic, skype, skypeDelay := runDirectCompeting(opt, data, fb)
-			out.CubicKbpsDirect = cubic
-			out.SkypeKbpsDirect = skype
-			out.SkypeDelay95Direct = skypeDelay
-			return nil
-		}},
-		{Name: "tunneled", Run: func(context.Context) error {
-			cubic, skype, skypeDelay, drops := runTunneledCompeting(opt, data, fb)
-			out.CubicKbpsTunnel = cubic
-			out.SkypeKbpsTunnel = skype
-			out.SkypeDelay95Tunnel = skypeDelay
-			out.TunnelHeadDrops = drops
-			return nil
-		}},
+	mkSpec := func(name string, tunnel bool) scenario.Spec {
+		spec := opt.baseSpec()
+		spec.Name = name
+		spec.Groups = []scenario.FlowGroup{
+			{Scheme: "cubic", Count: 1, BaseFlow: flowCubic},
+			{Scheme: "skype", Count: 1, BaseFlow: flowSkype},
+		}
+		spec.Tunnel = tunnel
+		spec.DataTrace, spec.FeedbackTrace = data, fb
+		return spec
 	}
-	if _, err := runJobs(opt, jobs); err != nil {
+	results, _, err := runSpecs(opt, []scenario.Spec{mkSpec("direct", false), mkSpec("tunneled", true)}, nil)
+	if err != nil {
 		return TunnelResult{}, err
 	}
+	direct, tunneled := results[0], results[1]
+
+	flowOf := func(r scenario.Result, flow uint32) (scenario.FlowResult, error) {
+		for _, f := range r.Flows {
+			if f.Flow == flow {
+				return f, nil
+			}
+		}
+		return scenario.FlowResult{}, fmt.Errorf("harness: %s: no result for flow %d", r.Spec.Name, flow)
+	}
+	var out TunnelResult
+	for _, part := range []struct {
+		res       scenario.Result
+		cubicKbps *float64
+		skypeKbps *float64
+		delay     *time.Duration
+	}{
+		{direct, &out.CubicKbpsDirect, &out.SkypeKbpsDirect, &out.SkypeDelay95Direct},
+		{tunneled, &out.CubicKbpsTunnel, &out.SkypeKbpsTunnel, &out.SkypeDelay95Tunnel},
+	} {
+		cubic, err := flowOf(part.res, flowCubic)
+		if err != nil {
+			return TunnelResult{}, err
+		}
+		skype, err := flowOf(part.res, flowSkype)
+		if err != nil {
+			return TunnelResult{}, err
+		}
+		*part.cubicKbps = cubic.ThroughputBps / 1000
+		*part.skypeKbps = skype.ThroughputBps / 1000
+		*part.delay = skype.Delay95
+	}
+	out.TunnelHeadDrops = tunneled.HeadDrops
 	return out, nil
-}
-
-// runDirectCompeting shares one emulated downlink between a Cubic bulk
-// transfer and a Skype-model call, exactly as "Direct" in the paper's
-// table: both flows commingle in the same per-user queue.
-func runDirectCompeting(opt Options, data, fb *trace.Trace) (cubicKbps, skypeKbps float64, skypeDelay95 time.Duration) {
-	loop := sim.New()
-	var tcpRcv *tcp.Receiver
-	var tcpSnd *tcp.Sender
-	var skypeRcv *app.Receiver
-	var skypeSnd *app.Sender
-
-	fwd := link.New(loop, link.Config{
-		Trace: data, PropagationDelay: 20 * time.Millisecond,
-	}, func(p *network.Packet) {
-		switch p.Flow {
-		case flowCubic:
-			tcpRcv.Receive(p)
-		case flowSkype:
-			skypeRcv.Receive(p)
-		}
-	})
-	fwd.RecordDeliveries(true)
-	rev := link.New(loop, link.Config{
-		Trace: fb, PropagationDelay: 20 * time.Millisecond,
-	}, func(p *network.Packet) {
-		switch p.Flow {
-		case flowCubic:
-			tcpSnd.Receive(p)
-		case flowSkype:
-			skypeSnd.Receive(p)
-		}
-	})
-	tcpRcv = tcp.NewReceiver(flowCubic, loop, rev)
-	tcpSnd = tcp.NewSender(tcp.SenderConfig{Flow: flowCubic, Clock: loop, Conn: fwd, CC: tcp.NewCubic(loop.Now)})
-	skypeRcv = app.NewReceiver(flowSkype, app.Skype(), loop, rev)
-	skypeSnd = app.NewSender(flowSkype, app.Skype(), loop, fwd)
-
-	loop.Run(opt.Duration)
-	dl := fwd.Deliveries()
-	cubicKbps = metrics.Throughput(metrics.FilterFlow(dl, flowCubic), opt.Skip, opt.Duration) / 1000
-	skypeDl := metrics.FilterFlow(dl, flowSkype)
-	skypeKbps = metrics.Throughput(skypeDl, opt.Skip, opt.Duration) / 1000
-	skypeDelay95 = metrics.EndToEndDelay(skypeDl, opt.Skip, opt.Duration, 0.95)
-	return
-}
-
-// runTunneledCompeting carries both flows through SproutTunnel: one Sprout
-// session per direction, per-flow queues with round-robin service and
-// forecast-bounded head drops at the ingress (§4.3).
-func runTunneledCompeting(opt Options, data, fb *trace.Trace) (cubicKbps, skypeKbps float64, skypeDelay95 time.Duration, headDrops int64) {
-	loop := sim.New()
-
-	// Sprout session 1 carries client data A->B on the downlink trace;
-	// session 2 carries client feedback B->A on the uplink trace.
-	// The downlink also carries session 2's forecast packets, and the
-	// uplink session 1's; endpoints demux on the Sprout flow id.
-	const (
-		sessDown = 1
-		sessUp   = 2
-	)
-	var rcvDown, rcvUp *transport.Receiver
-	var sndDown, sndUp *transport.Sender
-
-	fwd := link.New(loop, link.Config{
-		Trace: data, PropagationDelay: 20 * time.Millisecond,
-	}, func(p *network.Packet) {
-		switch p.Flow {
-		case sessDown:
-			rcvDown.Receive(p)
-		case sessUp:
-			sndUp.Receive(p)
-		}
-	})
-	rev := link.New(loop, link.Config{
-		Trace: fb, PropagationDelay: 20 * time.Millisecond,
-	}, func(p *network.Packet) {
-		switch p.Flow {
-		case sessDown:
-			sndDown.Receive(p)
-		case sessUp:
-			rcvUp.Receive(p)
-		}
-	})
-
-	ingressDown := tunnel.NewIngress() // at A, feeds sessDown
-	ingressUp := tunnel.NewIngress()   // at B, feeds sessUp
-
-	// Client endpoints: Cubic bulk + Skype call, A -> B.
-	var tcpRcv *tcp.Receiver
-	var tcpSnd *tcp.Sender
-	var skypeRcv *app.Receiver
-	var skypeSnd *app.Sender
-
-	egressDown := tunnel.NewEgress(loop, func(p *network.Packet) {
-		switch p.Flow {
-		case flowCubic:
-			tcpRcv.Receive(p)
-		case flowSkype:
-			skypeRcv.Receive(p)
-		}
-	})
-	egressDown.RecordDeliveries(true)
-	egressUp := tunnel.NewEgress(loop, func(p *network.Packet) {
-		switch p.Flow {
-		case flowCubic:
-			tcpSnd.Receive(p)
-		case flowSkype:
-			skypeSnd.Receive(p)
-		}
-	})
-
-	rcvDown = transport.NewReceiver(transport.ReceiverConfig{
-		Flow: sessDown, Clock: loop, Conn: rev, Deliver: egressDown.Deliver,
-	})
-	sndDown = transport.NewSender(transport.SenderConfig{
-		Flow: sessDown, Clock: loop, Conn: fwd, Source: ingressDown,
-	})
-	ingressDown.Bind(sndDown)
-	rcvUp = transport.NewReceiver(transport.ReceiverConfig{
-		Flow: sessUp, Clock: loop, Conn: fwd, Deliver: egressUp.Deliver,
-	})
-	sndUp = transport.NewSender(transport.SenderConfig{
-		Flow: sessUp, Clock: loop, Conn: rev, Source: ingressUp,
-	})
-	ingressUp.Bind(sndUp)
-
-	submitDown := transport.ConnFunc(func(p *network.Packet) { ingressDown.Submit(p) })
-	submitUp := transport.ConnFunc(func(p *network.Packet) { ingressUp.Submit(p) })
-
-	tcpRcv = tcp.NewReceiver(flowCubic, loop, submitUp)
-	tcpSnd = tcp.NewSender(tcp.SenderConfig{
-		Flow: flowCubic, Clock: loop, Conn: submitDown,
-		CC: tcp.NewCubic(loop.Now), MSS: tunnelClientMSS,
-	})
-	skypeProfile := app.Skype()
-	skypeProfile.PacketSize = tunnelClientMSS
-	skypeRcv = app.NewReceiver(flowSkype, skypeProfile, loop, submitUp)
-	skypeSnd = app.NewSender(flowSkype, skypeProfile, loop, submitDown)
-
-	loop.Run(opt.Duration)
-	dl := egressDown.Deliveries()
-	cubicKbps = metrics.Throughput(metrics.FilterFlow(dl, flowCubic), opt.Skip, opt.Duration) / 1000
-	skypeDl := metrics.FilterFlow(dl, flowSkype)
-	skypeKbps = metrics.Throughput(skypeDl, opt.Skip, opt.Duration) / 1000
-	skypeDelay95 = metrics.EndToEndDelay(skypeDl, opt.Skip, opt.Duration, 0.95)
-	headDrops = ingressDown.HeadDrops()
-	return
 }

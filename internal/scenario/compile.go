@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"sprout/internal/engine"
+)
+
+// CompileJobs turns specs into engine jobs that write into the returned
+// result slice by index, so assembled output never depends on scheduling
+// order. traces may be shared across calls; nil allocates a private cache.
+func CompileJobs(specs []Spec, traces *engine.Cache) ([]engine.Job, []Result, *engine.Cache) {
+	if traces == nil {
+		traces = engine.NewCache()
+	}
+	results := make([]Result, len(specs))
+	jobs := make([]engine.Job, len(specs))
+	for i, spec := range specs {
+		i, spec := i, spec
+		jobs[i] = engine.Job{
+			Name: spec.Label(),
+			Run: func(context.Context) error {
+				res, err := Run(spec, traces)
+				if err != nil {
+					return err
+				}
+				results[i] = res
+				return nil
+			},
+		}
+	}
+	return jobs, results, traces
+}
+
+// RunAll executes the specs through the parallel engine. workers <= 0 uses
+// every core; results are identical at any worker count.
+func RunAll(ctx context.Context, specs []Spec, workers int) ([]Result, engine.Stats, error) {
+	jobs, results, _ := CompileJobs(specs, nil)
+	stats, err := engine.New(workers).Run(ctx, jobs)
+	if err != nil {
+		return nil, stats, fmt.Errorf("scenario: %w", err)
+	}
+	return results, stats, nil
+}

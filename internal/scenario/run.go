@@ -1,0 +1,361 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sprout/internal/codel"
+	"sprout/internal/engine"
+	"sprout/internal/link"
+	"sprout/internal/metrics"
+	"sprout/internal/network"
+	"sprout/internal/sim"
+	"sprout/internal/transport"
+	"sprout/internal/tunnel"
+)
+
+const (
+	// tunnelSessionDown and tunnelSessionUp are the Sprout session flow
+	// ids carrying tunneled client traffic in each direction.
+	tunnelSessionDown = 1
+	tunnelSessionUp   = 2
+	// autoFlowStart is where automatic flow-id assignment begins for
+	// multi-group and tunnel specs, clear of the session ids.
+	autoFlowStart = 10
+)
+
+// TunnelClientMSS is the client packet size inside the tunnel: the frame
+// header (26 B) plus the Sprout header (76 B) must fit the link MTU.
+const TunnelClientMSS = 1300
+
+// FlowResult is one flow's share of a run.
+type FlowResult struct {
+	// Flow is the flow id on the shared path; Scheme the scheme that
+	// drove it.
+	Flow   uint32
+	Scheme string
+	// ThroughputBps is the flow's delivered data-direction throughput
+	// over (skip, duration].
+	ThroughputBps float64
+	// Delay95 is the flow's 95th-percentile end-to-end delay.
+	Delay95 time.Duration
+}
+
+// Result is the outcome of running one Spec.
+type Result struct {
+	// Spec is the normalized spec that ran.
+	Spec Spec
+	// Metrics holds the §5.1 aggregate metrics of the data direction
+	// against the driving trace. Unset in tunnel mode, where the link's
+	// raw deliveries are Sprout frames, not client data.
+	Metrics metrics.Result
+	// Flows reports each flow's throughput and delay, in flow-id order.
+	Flows []FlowResult
+	// Delay95 is the 95th-percentile end-to-end delay over all flows.
+	Delay95 time.Duration
+	// JainIndex is Jain's fairness index over per-flow throughputs
+	// (meaningful with two or more flows; 1.0 = perfectly fair).
+	JainIndex float64
+	// HeadDrops counts forecast-bounded head drops at the tunnel
+	// ingress (tunnel mode only).
+	HeadDrops int64
+	// Deliveries is the raw data-direction delivery log (from the link,
+	// or from the tunnel egress in tunnel mode), for timeseries
+	// experiments.
+	Deliveries []link.Delivery
+}
+
+// Run executes one Spec to completion in virtual time. traces may be nil;
+// passing a shared engine.Cache lets concurrent runs share generated trace
+// pairs.
+func Run(spec Spec, traces *engine.Cache) (Result, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	data, feedback, err := norm.resolveTraces(traces)
+	if err != nil {
+		return Result{}, err
+	}
+	norm.DataTrace, norm.FeedbackTrace = data, feedback
+	if norm.Tunnel {
+		return runTunnel(norm)
+	}
+	return runDirect(norm)
+}
+
+// useCoDel resolves the spec's AQM choice: an explicit override wins,
+// otherwise any group's scheme defaulting to CoDel turns it on.
+func (s Spec) useCoDel() bool {
+	if s.CoDel != nil {
+		return *s.CoDel
+	}
+	for _, g := range s.Groups {
+		if scheme, ok := Lookup(g.Scheme); ok && scheme.UsesCoDel {
+			return true
+		}
+	}
+	return false
+}
+
+// flowEndpoint pairs a flow id with its endpoints for demux.
+type flowEndpoint struct {
+	flow uint32
+	ep   Endpoint
+}
+
+// dispatch returns a link delivery handler over the attached endpoints,
+// with side selecting each flow's handler (data or feedback direction). A
+// single flow dispatches directly (the historical single-flow fast path);
+// multiple flows demux on the packet's flow id in O(1), dropping unknown
+// ids — this sits on the innermost per-packet path of every multi-flow
+// run.
+func dispatch(eps []flowEndpoint, side func(Endpoint) network.Handler) network.Handler {
+	if len(eps) == 1 {
+		return side(eps[0].ep)
+	}
+	byFlow := make(map[uint32]network.Handler, len(eps))
+	for _, fe := range eps {
+		byFlow[fe.flow] = side(fe.ep)
+	}
+	return func(p *network.Packet) {
+		if h, ok := byFlow[p.Flow]; ok {
+			h(p)
+		}
+	}
+}
+
+func dispatchData(eps []flowEndpoint) network.Handler {
+	return dispatch(eps, func(ep Endpoint) network.Handler { return ep.Data })
+}
+
+func dispatchFeedback(eps []flowEndpoint) network.Handler {
+	return dispatch(eps, func(ep Endpoint) network.Handler { return ep.Feedback })
+}
+
+// attachGroups constructs every group's flows in spec order, flow ids
+// ascending within a group. Construction order is part of the determinism
+// contract: endpoints schedule their first events at construction, and the
+// event loop breaks timestamp ties by insertion order.
+func attachGroups(spec Spec, loop *sim.Loop, dataConn, feedbackConn Conn, mss int) ([]flowEndpoint, error) {
+	var eps []flowEndpoint
+	for _, g := range spec.Groups {
+		scheme, ok := Lookup(g.Scheme)
+		if !ok {
+			return nil, unknownSchemeError(g.Scheme)
+		}
+		for i := 0; i < g.Count; i++ {
+			ep, err := scheme.New(AttachConfig{
+				Flow:         g.BaseFlow + uint32(i),
+				Clock:        loop,
+				DataConn:     dataConn,
+				FeedbackConn: feedbackConn,
+				Confidence:   spec.Confidence,
+				MSS:          mss,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("scenario: attach %s: %w", g.Scheme, err)
+			}
+			eps = append(eps, flowEndpoint{flow: g.BaseFlow + uint32(i), ep: ep})
+		}
+	}
+	return eps, nil
+}
+
+// runDirect places the flows straight on the emulated path: the layout of
+// every figure and table except §5.7's tunnel comparison.
+func runDirect(spec Spec) (Result, error) {
+	loop := sim.New()
+	duration := time.Duration(spec.Duration)
+
+	// Late-bound handlers let links and endpoints reference each other.
+	var onFwd, onRev network.Handler
+	var fwdDeq, revDeq link.Dequeuer
+	if spec.useCoDel() {
+		fwdDeq, revDeq = codel.New(0, 0), codel.New(0, 0)
+	}
+	// All randomness is job-local: each link's loss RNG is freshly
+	// derived from the spec seed here, inside the job, so concurrent
+	// experiment jobs never share a *rand.Rand (see internal/engine's
+	// package doc for the determinism contract). The +1000/+2000 offsets
+	// are frozen: they are part of the regenerated figures' byte
+	// identity.
+	fwd := link.New(loop, link.Config{
+		Trace:            spec.DataTrace,
+		PropagationDelay: time.Duration(spec.PropDelay),
+		LossRate:         spec.Loss,
+		Dequeuer:         fwdDeq,
+		Rand:             rand.New(rand.NewSource(spec.Seed + 1000)),
+	}, func(p *network.Packet) {
+		if onFwd != nil {
+			onFwd(p)
+		}
+	})
+	fwd.RecordDeliveries(true)
+	rev := link.New(loop, link.Config{
+		Trace:            spec.FeedbackTrace,
+		PropagationDelay: time.Duration(spec.PropDelay),
+		LossRate:         spec.Loss,
+		Dequeuer:         revDeq,
+		Rand:             rand.New(rand.NewSource(spec.Seed + 2000)),
+	}, func(p *network.Packet) {
+		if onRev != nil {
+			onRev(p)
+		}
+	})
+
+	eps, err := attachGroups(spec, loop, fwd, rev, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	onFwd, onRev = dispatchData(eps), dispatchFeedback(eps)
+
+	loop.Run(duration)
+	dl := fwd.Deliveries()
+	res := Result{
+		Spec:    spec,
+		Metrics: metrics.Evaluate(dl, spec.DataTrace, time.Duration(spec.PropDelay), time.Duration(spec.Skip), duration),
+	}
+	if spec.KeepDeliveries {
+		res.Deliveries = dl
+	}
+	res.finishFlows(spec, eps, dl)
+	return res, nil
+}
+
+// runTunnel carries the client flows through SproutTunnel (§4.3): one
+// Sprout session per direction, per-flow queues with round-robin service
+// and forecast-bounded head drops at the ingress.
+func runTunnel(spec Spec) (Result, error) {
+	loop := sim.New()
+	duration := time.Duration(spec.Duration)
+
+	// Sprout session 1 carries client data A->B on the data trace;
+	// session 2 carries client feedback B->A on the feedback trace.
+	// The data link also carries session 2's forecast packets, and the
+	// feedback link session 1's; endpoints demux on the Sprout flow id.
+	var rcvDown, rcvUp *transport.Receiver
+	var sndDown, sndUp *transport.Sender
+
+	fwd := link.New(loop, link.Config{
+		Trace:            spec.DataTrace,
+		PropagationDelay: time.Duration(spec.PropDelay),
+		LossRate:         spec.Loss,
+		Rand:             rand.New(rand.NewSource(spec.Seed + 1000)),
+	}, func(p *network.Packet) {
+		switch p.Flow {
+		case tunnelSessionDown:
+			rcvDown.Receive(p)
+		case tunnelSessionUp:
+			sndUp.Receive(p)
+		}
+	})
+	rev := link.New(loop, link.Config{
+		Trace:            spec.FeedbackTrace,
+		PropagationDelay: time.Duration(spec.PropDelay),
+		LossRate:         spec.Loss,
+		Rand:             rand.New(rand.NewSource(spec.Seed + 2000)),
+	}, func(p *network.Packet) {
+		switch p.Flow {
+		case tunnelSessionDown:
+			sndDown.Receive(p)
+		case tunnelSessionUp:
+			rcvUp.Receive(p)
+		}
+	})
+
+	ingressDown := tunnel.NewIngress() // at A, feeds tunnelSessionDown
+	ingressUp := tunnel.NewIngress()   // at B, feeds tunnelSessionUp
+
+	// Client endpoints attach after the tunnel machinery, so the egress
+	// handlers late-bind exactly like the direct path's links.
+	var onData, onFeedback network.Handler
+	egressDown := tunnel.NewEgress(loop, func(p *network.Packet) {
+		if onData != nil {
+			onData(p)
+		}
+	})
+	egressDown.RecordDeliveries(true)
+	egressUp := tunnel.NewEgress(loop, func(p *network.Packet) {
+		if onFeedback != nil {
+			onFeedback(p)
+		}
+	})
+
+	rcvDown = transport.NewReceiver(transport.ReceiverConfig{
+		Flow: tunnelSessionDown, Clock: loop, Conn: rev, Deliver: egressDown.Deliver,
+	})
+	sndDown = transport.NewSender(transport.SenderConfig{
+		Flow: tunnelSessionDown, Clock: loop, Conn: fwd, Source: ingressDown,
+	})
+	ingressDown.Bind(sndDown)
+	rcvUp = transport.NewReceiver(transport.ReceiverConfig{
+		Flow: tunnelSessionUp, Clock: loop, Conn: fwd, Deliver: egressUp.Deliver,
+	})
+	sndUp = transport.NewSender(transport.SenderConfig{
+		Flow: tunnelSessionUp, Clock: loop, Conn: rev, Source: ingressUp,
+	})
+	ingressUp.Bind(sndUp)
+
+	submitDown := transport.ConnFunc(func(p *network.Packet) { ingressDown.Submit(p) })
+	submitUp := transport.ConnFunc(func(p *network.Packet) { ingressUp.Submit(p) })
+
+	eps, err := attachGroups(spec, loop, submitDown, submitUp, TunnelClientMSS)
+	if err != nil {
+		return Result{}, err
+	}
+	onData, onFeedback = dispatchData(eps), dispatchFeedback(eps)
+
+	loop.Run(duration)
+	dl := egressDown.Deliveries()
+	res := Result{
+		Spec:      spec,
+		HeadDrops: ingressDown.HeadDrops(),
+	}
+	if spec.KeepDeliveries {
+		res.Deliveries = dl
+	}
+	res.finishFlows(spec, eps, dl)
+	return res, nil
+}
+
+// finishFlows derives the per-flow and cross-flow aggregates from the
+// data-direction delivery log.
+func (r *Result) finishFlows(spec Spec, eps []flowEndpoint, dl []link.Delivery) {
+	skip, duration := time.Duration(spec.Skip), time.Duration(spec.Duration)
+	schemeOf := make(map[uint32]string, len(eps))
+	for _, g := range spec.Groups {
+		for i := 0; i < g.Count; i++ {
+			schemeOf[g.BaseFlow+uint32(i)] = g.Scheme
+		}
+	}
+	var sum, sumSq float64
+	for _, fe := range eps {
+		flowDl := dl
+		if len(eps) > 1 {
+			// With one flow the whole log is that flow's; skip the
+			// filtered copy on the common single-flow path.
+			flowDl = metrics.FilterFlow(dl, fe.flow)
+		}
+		fr := FlowResult{
+			Flow:          fe.flow,
+			Scheme:        schemeOf[fe.flow],
+			ThroughputBps: metrics.Throughput(flowDl, skip, duration),
+			Delay95:       metrics.EndToEndDelay(flowDl, skip, duration, 0.95),
+		}
+		r.Flows = append(r.Flows, fr)
+		sum += fr.ThroughputBps
+		sumSq += fr.ThroughputBps * fr.ThroughputBps
+	}
+	if len(r.Flows) == 1 {
+		// The lone flow's log is the whole log: its percentile is the
+		// aggregate, no second sort pass needed.
+		r.Delay95 = r.Flows[0].Delay95
+	} else {
+		r.Delay95 = metrics.EndToEndDelay(dl, skip, duration, 0.95)
+	}
+	if sumSq > 0 {
+		r.JainIndex = sum * sum / (float64(len(r.Flows)) * sumSq)
+	}
+}

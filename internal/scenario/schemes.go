@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"fmt"
+
+	"sprout/internal/app"
+	"sprout/internal/core"
+	"sprout/internal/tcp"
+	"sprout/internal/transport"
+)
+
+// The built-in registrations cover the paper's ten schemes in figure order
+// plus the two buildable extras (the adaptive-σ extension of §3.1/§7 and
+// plain Reno). Each family shares one constructor shape: Sprout variants
+// differ only in their Forecaster, TCP baselines in their
+// CongestionControl (via tcp.NewCC), and the interactive applications in
+// their app.Profile (via app.ProfileByName).
+
+func init() {
+	// Sprout family.
+	Register(Scheme{
+		Name:        "sprout",
+		Description: "Sprout: Bayesian delivery forecasts, 95% cautious window (§3)",
+		New:         sproutConstructor(func(p core.Params) core.Forecaster { return core.NewDeliveryForecaster(core.NewModel(p)) }),
+	})
+	Register(Scheme{
+		Name:        "sprout-ewma",
+		Description: "Sprout-EWMA: EWMA rate tracker in place of the Bayesian filter (§5.3)",
+		New:         sproutConstructor(func(core.Params) core.Forecaster { return core.NewEWMAForecaster(0, 0, 0) }),
+	})
+
+	// Interactive applications (the measured commercial programs).
+	for _, name := range app.ProfileNames() {
+		profile, _ := app.ProfileByName(name)
+		Register(Scheme{
+			Name:        name,
+			Description: fmt.Sprintf("%s-like videoconference model (measured §5.2 personality)", profile.Name),
+			BaseFlow:    1,
+			New:         appConstructor(name),
+		})
+	}
+
+	// TCP baselines.
+	Register(Scheme{
+		Name:        "cubic",
+		Description: "TCP Cubic, the Linux default (§5)",
+		BaseFlow:    1,
+		New:         tcpConstructor("cubic"),
+	})
+	Register(Scheme{
+		Name:        "cubic-codel",
+		Description: "TCP Cubic with CoDel AQM at the bottleneck (§5.4)",
+		UsesCoDel:   true,
+		BaseFlow:    1,
+		New:         tcpConstructor("cubic"),
+	})
+	Register(Scheme{
+		Name:        "vegas",
+		Description: "TCP Vegas, delay-based congestion avoidance (§5)",
+		BaseFlow:    1,
+		New:         tcpConstructor("vegas"),
+	})
+	Register(Scheme{
+		Name:        "compound",
+		Description: "Compound TCP, the Windows default (§5)",
+		BaseFlow:    1,
+		New:         tcpConstructor("compound"),
+	})
+	Register(Scheme{
+		Name:        "ledbat",
+		Description: "LEDBAT scavenger transport (§5)",
+		BaseFlow:    1,
+		New:         tcpConstructor("ledbat"),
+	})
+
+	// Extras beyond the paper's grid.
+	Register(Scheme{
+		Name:        "sprout-adaptive",
+		Description: "Sprout with online σ adaptation (the §3.1/§7 extension)",
+		Extra:       true,
+		New: sproutConstructor(func(p core.Params) core.Forecaster {
+			return core.NewAdaptiveForecaster(core.NewModel(p), core.AdaptiveConfig{})
+		}),
+	})
+	Register(Scheme{
+		Name:        "reno",
+		Description: "TCP NewReno, the loss-recovery base of the TCP substrate",
+		Extra:       true,
+		BaseFlow:    1,
+		New:         tcpConstructor("reno"),
+	})
+}
+
+// sproutConstructor builds the Sprout-family constructor: the variants
+// differ only in the forecaster the receiver runs.
+func sproutConstructor(forecaster func(core.Params) core.Forecaster) Constructor {
+	return func(cfg AttachConfig) (Endpoint, error) {
+		params := core.Params{}
+		if cfg.Confidence != 0 {
+			params.Confidence = cfg.Confidence
+		}
+		rcv := transport.NewReceiver(transport.ReceiverConfig{
+			Flow: cfg.Flow, Clock: cfg.Clock, Conn: cfg.FeedbackConn,
+			Forecaster: forecaster(params),
+		})
+		snd := transport.NewSender(transport.SenderConfig{
+			Flow: cfg.Flow, Clock: cfg.Clock, Conn: cfg.DataConn,
+		})
+		return Endpoint{Data: rcv.Receive, Feedback: snd.Receive}, nil
+	}
+}
+
+// tcpConstructor builds a TCP-baseline constructor around a registered
+// congestion controller.
+func tcpConstructor(cc string) Constructor {
+	return func(cfg AttachConfig) (Endpoint, error) {
+		ctrl, ok := tcp.NewCC(cc, cfg.Clock.Now)
+		if !ok {
+			return Endpoint{}, fmt.Errorf("scenario: no congestion controller %q (have %v)", cc, tcp.CCNames())
+		}
+		rcv := tcp.NewReceiver(cfg.Flow, cfg.Clock, cfg.FeedbackConn)
+		sc := tcp.SenderConfig{Flow: cfg.Flow, Clock: cfg.Clock, Conn: cfg.DataConn, CC: ctrl, MSS: cfg.MSS}
+		if cc == "compound" {
+			// The paper's Compound endpoint is Windows 7, whose
+			// receive-window autotuning is far more conservative
+			// than Linux's (~256 kB vs ~4 MB); without this the
+			// deep-buffer queue is receive-window-bound and
+			// Compound would be indistinguishable from Cubic.
+			sc.MaxWindow = 170
+		}
+		snd := tcp.NewSender(sc)
+		return Endpoint{Data: rcv.Receive, Feedback: snd.Receive}, nil
+	}
+}
+
+// appConstructor builds an interactive-application constructor around a
+// named profile.
+func appConstructor(profile string) Constructor {
+	return func(cfg AttachConfig) (Endpoint, error) {
+		p, ok := app.ProfileByName(profile)
+		if !ok {
+			return Endpoint{}, fmt.Errorf("scenario: no app profile %q (have %v)", profile, app.ProfileNames())
+		}
+		if cfg.MSS > 0 {
+			p.PacketSize = cfg.MSS
+		}
+		rcv := app.NewReceiver(cfg.Flow, p, cfg.Clock, cfg.FeedbackConn)
+		snd := app.NewSender(cfg.Flow, p, cfg.Clock, cfg.DataConn)
+		return Endpoint{Data: rcv.Receive, Feedback: snd.Receive}, nil
+	}
+}

@@ -1,0 +1,228 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpecJSONRoundTrip marshals a fully-specified spec and parses it
+// back unchanged.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	tru := true
+	in := Spec{
+		Name:      "round trip",
+		Scheme:    "vegas",
+		Flows:     3,
+		Link:      "Verizon LTE",
+		Direction: "up",
+		Loss:      0.05,
+		CoDel:     &tru,
+		Duration:  Duration(90 * time.Second),
+		Skip:      Duration(20 * time.Second),
+		PropDelay: Duration(10 * time.Millisecond),
+		Seed:      42,
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"duration":"1m30s"`) {
+		t.Errorf("duration should marshal as a Go duration string, got %s", raw)
+	}
+	var out Spec
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the spec:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestDurationForms accepts both "30s" strings and numeric seconds.
+func TestDurationForms(t *testing.T) {
+	var s Spec
+	if err := json.Unmarshal([]byte(`{"duration": "45s", "skip": 12.5}`), &s); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(s.Duration) != 45*time.Second {
+		t.Errorf("duration = %v, want 45s", time.Duration(s.Duration))
+	}
+	if time.Duration(s.Skip) != 12500*time.Millisecond {
+		t.Errorf("skip = %v, want 12.5s", time.Duration(s.Skip))
+	}
+	if err := json.Unmarshal([]byte(`{"duration": "abc"}`), &s); err == nil {
+		t.Error("bad duration string accepted")
+	}
+}
+
+// TestNormalizeDefaults checks the resolved defaults of a minimal spec.
+func TestNormalizeDefaults(t *testing.T) {
+	norm, err := Spec{Scheme: "sprout", Link: "Verizon LTE"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Duration(norm.Duration); d != 150*time.Second {
+		t.Errorf("default duration = %v, want 150s", d)
+	}
+	if d := time.Duration(norm.Skip); d != 30*time.Second {
+		t.Errorf("default skip = %v, want 30s", d)
+	}
+	if d := time.Duration(norm.PropDelay); d != 20*time.Millisecond {
+		t.Errorf("default prop delay = %v, want 20ms", d)
+	}
+	if norm.Seed != 1 {
+		t.Errorf("default seed = %d, want 1", norm.Seed)
+	}
+	if norm.Direction != "down" {
+		t.Errorf("default direction = %q, want down", norm.Direction)
+	}
+	want := []FlowGroup{{Scheme: "sprout", Count: 1, BaseFlow: 0}}
+	if !reflect.DeepEqual(norm.Groups, want) {
+		t.Errorf("groups = %+v, want %+v", norm.Groups, want)
+	}
+	// A lone TCP flow keeps its historical base flow id 1.
+	norm, err = Spec{Scheme: "cubic", Link: "Verizon LTE"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Groups[0].BaseFlow != 1 {
+		t.Errorf("lone cubic base flow = %d, want 1", norm.Groups[0].BaseFlow)
+	}
+	// Multiple groups auto-assign sequentially from the reserved range.
+	norm, err = Spec{
+		Groups: []FlowGroup{{Scheme: "sprout", Count: 2}, {Scheme: "ledbat"}},
+		Link:   "Verizon LTE",
+	}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Groups[0].BaseFlow != autoFlowStart || norm.Groups[1].BaseFlow != autoFlowStart+2 {
+		t.Errorf("auto flow ids = %d, %d; want %d, %d",
+			norm.Groups[0].BaseFlow, norm.Groups[1].BaseFlow, autoFlowStart, autoFlowStart+2)
+	}
+}
+
+// TestNormalizeErrors covers the validation failure paths.
+func TestNormalizeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"unknown scheme", Spec{Scheme: "quic", Link: "Verizon LTE"}, "unknown scheme"},
+		{"unknown link", Spec{Scheme: "sprout", Link: "Starlink"}, "unknown link"},
+		{"no link or traces", Spec{Scheme: "sprout"}, "no link"},
+		{"negative duration", Spec{Scheme: "sprout", Link: "Verizon LTE", Duration: Duration(-time.Second)}, "negative duration"},
+		{"loss out of range", Spec{Scheme: "sprout", Link: "Verizon LTE", Loss: 1.5}, "loss rate"},
+		{"negative flows", Spec{Scheme: "sprout", Link: "Verizon LTE", Flows: -2}, "negative flow count"},
+		{"bad direction", Spec{Scheme: "sprout", Link: "Verizon LTE", Direction: "sideways"}, "direction"},
+		{"bad confidence", Spec{Scheme: "sprout", Link: "Verizon LTE", Confidence: 2}, "confidence"},
+		{"overlapping flow ids", Spec{
+			Groups: []FlowGroup{
+				{Scheme: "cubic", Count: 2, BaseFlow: 10},
+				{Scheme: "skype", Count: 1, BaseFlow: 11},
+			},
+			Link: "Verizon LTE",
+		}, "overlap"},
+		{"tunnel client on session id", Spec{
+			Groups: []FlowGroup{{Scheme: "cubic", BaseFlow: tunnelSessionDown}},
+			Tunnel: true,
+			Link:   "Verizon LTE",
+		}, "tunnel"},
+		{"codel in tunnel", Spec{Scheme: "cubic-codel", Tunnel: true, Link: "Verizon LTE"}, "CoDel inside tunnel"},
+		{"flow id overflow", Spec{
+			Groups: []FlowGroup{{Scheme: "cubic", Count: 10, BaseFlow: math.MaxUint32 - 2}},
+			Link:   "Verizon LTE",
+		}, "overflow"},
+	}
+	for _, c := range cases {
+		_, err := c.spec.Normalize()
+		if err == nil {
+			t.Errorf("%s: Normalize accepted %+v", c.name, c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestParseForms accepts both the {defaults, scenarios} object form and a
+// bare array, and rejects empty or invalid files.
+func TestParseForms(t *testing.T) {
+	specs, err := Parse(strings.NewReader(`[{"scheme": "sprout", "link": "Verizon LTE"}]`))
+	if err != nil {
+		t.Fatalf("bare array: %v", err)
+	}
+	if len(specs) != 1 || specs[0].Scheme != "sprout" {
+		t.Errorf("bare array parsed to %+v", specs)
+	}
+
+	specs, err = Parse(strings.NewReader(`{
+		"defaults": {"link": "AT&T LTE", "seed": 9, "duration": "35s"},
+		"scenarios": [
+			{"scheme": "vegas"},
+			{"scheme": "cubic", "link": "Verizon LTE", "seed": 2}
+		]
+	}`))
+	if err != nil {
+		t.Fatalf("object form: %v", err)
+	}
+	if specs[0].Link != "AT&T LTE" || specs[0].Seed != 9 || time.Duration(specs[0].Duration) != 35*time.Second {
+		t.Errorf("defaults not merged: %+v", specs[0])
+	}
+	if specs[1].Link != "Verizon LTE" || specs[1].Seed != 2 {
+		t.Errorf("explicit fields overridden by defaults: %+v", specs[1])
+	}
+
+	// Tunnel is a per-scenario topology decision, never inherited.
+	specs, err = Parse(strings.NewReader(`{
+		"defaults": {"tunnel": true, "link": "Verizon LTE"},
+		"scenarios": [{"scheme": "cubic"}]
+	}`))
+	if err != nil {
+		t.Fatalf("tunnel defaults: %v", err)
+	}
+	if specs[0].Tunnel {
+		t.Error("tunnel inherited from defaults; it must stay per-scenario")
+	}
+
+	if _, err := Parse(strings.NewReader(`{"scenarios": []}`)); err == nil {
+		t.Error("empty scenario list accepted")
+	}
+	if _, err := Parse(strings.NewReader(`[{"seed": "seven"}]`)); err == nil ||
+		!strings.Contains(err.Error(), "seed") {
+		t.Errorf("bare-array type error should name the bad field, got %v", err)
+	}
+	if _, err := Parse(strings.NewReader(`{"scenarios": [{"scheme": "nope", "link": "Verizon LTE"}]}`)); err == nil {
+		t.Error("invalid scenario accepted at parse time")
+	}
+	if _, err := Parse(strings.NewReader(`{`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+// TestLabel pins the derived display names.
+func TestLabel(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Name: "explicit"}, "explicit"},
+		{Spec{Scheme: "vegas", Link: "Verizon LTE"}, "vegas on Verizon LTE down"},
+		{Spec{Scheme: "cubic", Flows: 3, Link: "AT&T LTE", Direction: "up"}, "3x cubic on AT&T LTE up"},
+		{
+			Spec{Groups: []FlowGroup{{Scheme: "cubic", Count: 1}, {Scheme: "skype", Count: 1}}, Tunnel: true, Link: "Verizon LTE"},
+			"cubic + skype via tunnel on Verizon LTE down",
+		},
+	}
+	for _, c := range cases {
+		if got := c.spec.Label(); got != c.want {
+			t.Errorf("Label() = %q, want %q", got, c.want)
+		}
+	}
+}

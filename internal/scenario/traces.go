@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"sprout/internal/engine"
+	"sprout/internal/trace"
+)
+
+// LookupNetwork resolves a Spec.Link name to a canonical network pair.
+// Matching is case-insensitive on the full name.
+func LookupNetwork(name string) (trace.NetworkPair, bool) {
+	for _, p := range trace.CanonicalNetworks() {
+		if strings.EqualFold(p.Name, name) {
+			return p, true
+		}
+	}
+	return trace.NetworkPair{}, false
+}
+
+// NetworkNames lists the canonical networks a Spec.Link can name.
+func NetworkNames() []string {
+	var names []string
+	for _, p := range trace.CanonicalNetworks() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+func unknownLinkError(name string) error {
+	return fmt.Errorf("scenario: unknown link %q (canonical networks: %v)", name, NetworkNames())
+}
+
+// GenerateTracePair deterministically generates the data/feedback trace
+// pair for one network and direction. direction is "down" (data on the
+// downlink) or "up". The seed derivation is frozen: changing it changes
+// every regenerated figure.
+func GenerateTracePair(pair trace.NetworkPair, direction string, d time.Duration, seed int64) (data, feedback *trace.Trace) {
+	margin := d + 10*time.Second
+	downRng := rand.New(rand.NewSource(seed*31 + 7))
+	upRng := rand.New(rand.NewSource(seed*31 + 8))
+	down := pair.Down.Generate(margin, downRng)
+	up := pair.Up.Generate(margin, upRng)
+	if direction == "up" {
+		return up, down
+	}
+	return down, up
+}
+
+// tracePair is a cached data/feedback trace pair.
+type tracePair struct {
+	data, feedback *trace.Trace
+}
+
+// CachedTracePair returns the trace pair for one network and direction,
+// generating it at most once per cache regardless of how many concurrent
+// jobs ask for it. Traces are immutable after generation, so jobs share
+// them freely.
+func CachedTracePair(c *engine.Cache, pair trace.NetworkPair, dir string, d time.Duration, seed int64) (data, feedback *trace.Trace) {
+	key := fmt.Sprintf("%s/%s/%d/%d", pair.Name, dir, d, seed)
+	tp := c.Get(key, func() any {
+		data, fb := GenerateTracePair(pair, dir, d, seed)
+		return tracePair{data, fb}
+	}).(tracePair)
+	return tp.data, tp.feedback
+}
+
+// resolveTraces returns the spec's trace pair: the injected traces, or the
+// canonical pair for (Link, Direction) via the cache (nil cache generates
+// directly).
+func (s Spec) resolveTraces(c *engine.Cache) (data, feedback *trace.Trace, err error) {
+	if s.DataTrace != nil && s.FeedbackTrace != nil {
+		return s.DataTrace, s.FeedbackTrace, nil
+	}
+	pair, ok := LookupNetwork(s.Link)
+	if !ok {
+		return nil, nil, unknownLinkError(s.Link)
+	}
+	if c == nil {
+		data, feedback = GenerateTracePair(pair, s.Direction, time.Duration(s.Duration), s.Seed)
+		return data, feedback, nil
+	}
+	data, feedback = CachedTracePair(c, pair, s.Direction, time.Duration(s.Duration), s.Seed)
+	return data, feedback, nil
+}

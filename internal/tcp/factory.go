@@ -1,0 +1,38 @@
+package tcp
+
+import (
+	"sort"
+	"time"
+)
+
+// ccFactories maps a congestion-control name to its constructor. now
+// supplies virtual time for algorithms that need a clock (Cubic's real-time
+// cubic growth); the others ignore it.
+var ccFactories = map[string]func(now func() time.Duration) CongestionControl{
+	"cubic":    func(now func() time.Duration) CongestionControl { return NewCubic(now) },
+	"vegas":    func(func() time.Duration) CongestionControl { return NewVegas() },
+	"compound": func(func() time.Duration) CongestionControl { return NewCompound() },
+	"ledbat":   func(func() time.Duration) CongestionControl { return NewLEDBAT() },
+	"reno":     func(func() time.Duration) CongestionControl { return NewRenoCC() },
+}
+
+// NewCC builds the named congestion controller, reporting false for an
+// unknown name. This is the lookup the scenario registry's TCP schemes are
+// built on, so adding an algorithm here makes it addressable by name.
+func NewCC(name string, now func() time.Duration) (CongestionControl, bool) {
+	f, ok := ccFactories[name]
+	if !ok {
+		return nil, false
+	}
+	return f(now), true
+}
+
+// CCNames lists the built-in congestion-control algorithms, sorted.
+func CCNames() []string {
+	names := make([]string, 0, len(ccFactories))
+	for n := range ccFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -31,6 +31,7 @@
 package sprout
 
 import (
+	"context"
 	"time"
 
 	"sprout/internal/core"
@@ -39,6 +40,7 @@ import (
 	"sprout/internal/metrics"
 	"sprout/internal/network"
 	"sprout/internal/saturator"
+	"sprout/internal/scenario"
 	"sprout/internal/sim"
 	"sprout/internal/trace"
 	"sprout/internal/transport"
@@ -241,11 +243,52 @@ type (
 	ResultMatrix = harness.Matrix
 )
 
-// Schemes lists every supported scheme name.
+// Schemes lists the paper's scheme names in figure order, enumerated from
+// the scenario registry.
 func Schemes() []string { return harness.Schemes() }
+
+// ExtraSchemes lists registered schemes beyond the paper's set.
+func ExtraSchemes() []string { return harness.ExtraSchemes() }
 
 // RunExperiment executes one experiment run.
 func RunExperiment(cfg ExperimentConfig) (ExperimentResult, error) { return harness.Run(cfg) }
+
+// Declarative scenarios: the registry + spec layer every experiment runs
+// through (internal/scenario).
+type (
+	// ScenarioSpec declares one experiment — scheme(s), link or traces,
+	// direction, loss, CoDel, tunnel, durations, seed — as data.
+	ScenarioSpec = scenario.Spec
+	// ScenarioFlowGroup is one homogeneous set of flows inside a spec.
+	ScenarioFlowGroup = scenario.FlowGroup
+	// ScenarioResult is the outcome of one spec: aggregate §5.1 metrics
+	// plus per-flow throughput/delay and fairness.
+	ScenarioResult = scenario.Result
+	// ScenarioDuration is a time.Duration that marshals to JSON as a
+	// "150s"-style string (numeric seconds also parse).
+	ScenarioDuration = scenario.Duration
+	// SchemeInfo is one scheme registration: metadata plus the
+	// constructor that builds its endpoints on an emulated path.
+	SchemeInfo = scenario.Scheme
+)
+
+// RegisterScheme adds a scheme to the registry, making it runnable by
+// name from scenario specs and the canonical grids.
+func RegisterScheme(s SchemeInfo) { scenario.Register(s) }
+
+// LoadScenarios parses a JSON scenario file (see DESIGN.md §8 for the
+// format).
+func LoadScenarios(path string) ([]ScenarioSpec, error) { return scenario.LoadFile(path) }
+
+// RunScenario executes one spec to completion in virtual time.
+func RunScenario(spec ScenarioSpec) (ScenarioResult, error) { return scenario.Run(spec, nil) }
+
+// RunScenarios executes specs through the deterministic parallel engine
+// (workers <= 0 uses every core; results are identical at any setting).
+func RunScenarios(ctx context.Context, specs []ScenarioSpec, workers int) ([]ScenarioResult, error) {
+	results, _, err := scenario.RunAll(ctx, specs, workers)
+	return results, err
+}
 
 // RunMatrix executes schemes × the eight canonical links.
 func RunMatrix(opt SuiteOptions, schemes []string) (*ResultMatrix, error) {
