@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,7 +41,35 @@ func main() {
 	upFile := flag.String("up", "", "reverse-direction mahimahi trace (with -down)")
 	scenarioFile := flag.String("scenario", "", "run the experiment specs in this JSON scenario file instead of the canonical suite")
 	listSchemes := flag.Bool("list-schemes", false, "list every registered scheme and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		prev := flushProfiles
+		flushProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			prev()
+		}
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		prev := flushProfiles
+		flushProfiles = func() {
+			prev() // stop CPU sampling first so the GC below is not recorded
+			f, err := os.Create(path)
+			if err == nil {
+				runtime.GC() // materialize the final heap state
+				pprof.WriteHeapProfile(f)
+				f.Close()
+			}
+		}
+	}
+	defer flushProfiles()
 
 	if *listSchemes {
 		runListSchemes()
@@ -54,7 +84,7 @@ func main() {
 	if *downFile != "" || *upFile != "" {
 		if *downFile == "" || *upFile == "" {
 			fmt.Fprintln(os.Stderr, "sproutbench: -down and -up must be given together")
-			os.Exit(2)
+			fatalExit(2)
 		}
 		runCustomTraces(*downFile, *upFile,
 			harness.Options{Duration: *duration, Skip: *skip, Seed: *seed, Workers: *parallel})
@@ -123,7 +153,7 @@ func main() {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *runFlag)
-		os.Exit(2)
+		fatalExit(2)
 	}
 }
 
@@ -220,10 +250,21 @@ func runScenarioFile(path string, opt harness.Options) {
 	}
 }
 
+// flushProfiles stops and writes any active -cpuprofile/-memprofile
+// output. Every exit path routes through it (the deferred call in main
+// for normal returns, fatalExit for error paths), so profiles survive
+// failing runs — exactly when they are wanted.
+var flushProfiles = func() {}
+
+func fatalExit(code int) {
+	flushProfiles()
+	os.Exit(code)
+}
+
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sproutbench:", err)
-		os.Exit(1)
+		fatalExit(1)
 	}
 }
 

@@ -156,6 +156,9 @@ type Sender struct {
 	rate    float64 // current encode rate, bits/s
 	nextSeq int64
 
+	paceTimer sim.Timer
+	emitFn    func() // built once so pacing does not allocate per packet
+
 	congestedStreak int
 	lastMaxSeq      int64
 	lastReceived    uint64
@@ -170,6 +173,7 @@ func NewSender(flow uint32, profile Profile, clock sim.Clock, conn Conn) *Sender
 		panic("app: Sender requires clock and conn")
 	}
 	s := &Sender{profile: profile, clock: clock, conn: conn, flow: flow, rate: profile.StartRate}
+	s.emitFn = s.emit
 	s.scheduleNext()
 	return s
 }
@@ -182,7 +186,7 @@ func (s *Sender) Decreases() int64 { return s.decreases }
 
 func (s *Sender) scheduleNext() {
 	gap := time.Duration(float64(s.profile.PacketSize*8) / s.rate * float64(time.Second))
-	s.clock.After(gap, s.emit)
+	s.paceTimer = sim.Reschedule(s.clock, s.paceTimer, gap, s.emitFn)
 }
 
 func (s *Sender) emit() {
@@ -253,6 +257,9 @@ type Receiver struct {
 	maxRelDly time.Duration // within current report window
 	havePkt   bool
 
+	reportTimer sim.Timer
+	reportFn    func() // built once so the report cadence does not allocate
+
 	reports int64
 }
 
@@ -262,7 +269,8 @@ func NewReceiver(flow uint32, profile Profile, clock sim.Clock, conn Conn) *Rece
 		panic("app: Receiver requires clock and conn")
 	}
 	r := &Receiver{profile: profile, clock: clock, conn: conn, flow: flow, maxSeq: -1, minDelay: time.Hour}
-	clock.After(profile.ReportInterval, r.report)
+	r.reportFn = r.report
+	r.reportTimer = clock.After(profile.ReportInterval, r.reportFn)
 	return r
 }
 
@@ -293,7 +301,7 @@ func (r *Receiver) Receive(pkt *network.Packet) {
 }
 
 func (r *Receiver) report() {
-	r.clock.After(r.profile.ReportInterval, r.report)
+	r.reportTimer = sim.Reschedule(r.clock, r.reportTimer, r.profile.ReportInterval, r.reportFn)
 	if !r.havePkt {
 		return
 	}

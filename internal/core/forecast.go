@@ -135,8 +135,11 @@ type DeliveryForecaster struct {
 	model *Model
 	tbl   *forecastTable
 
-	// scratch buffers for the observation-free evolution.
+	// scratch buffers for the observation-free evolution, plus the
+	// support window of cur (see Model.lo/hi): the mixture sums scan
+	// only live bins.
 	cur, next []float64
+	lo, hi    int
 }
 
 // NewDeliveryForecaster builds the forecaster for the model, reusing the
@@ -204,9 +207,10 @@ func (f *DeliveryForecaster) ForecastAt(dst []float64, confidence float64) []flo
 		p = 1 - 1e-9
 	}
 	copy(f.cur, f.model.probs)
+	f.lo, f.hi = f.model.lo, f.model.hi
 	prev := 0
 	for i := 0; i < f.model.p.ForecastTicks; i++ {
-		evolveInto(f.next, f.cur, f.model.kernel, f.model.radius, f.model.outageStay)
+		f.lo, f.hi = evolveInto(f.next, f.cur, f.model.kernel, f.model.radius, f.model.outageStay, f.lo, f.hi)
 		f.cur, f.next = f.next, f.cur
 		prev = f.mixtureQuantileFrom(i, p, prev)
 		dst = append(dst, float64(prev))
@@ -242,11 +246,15 @@ func (f *DeliveryForecaster) mixtureQuantileFrom(tick int, p float64, lo0 int) i
 	return hi
 }
 
+// mixtureCDF evaluates F(k) = Σ_j w_j · cdf[k][j] over the support window
+// only; bins outside it are exactly zero (and were skipped by the w != 0
+// guard before windowing existed, so the sum is bit-identical).
 func (f *DeliveryForecaster) mixtureCDF(tick, k int) float64 {
 	row := f.tbl.row(tick, k)
+	cur := f.cur
 	var s float64
-	for j, w := range f.cur {
-		if w != 0 {
+	for j := f.lo; j < f.hi; j++ {
+		if w := cur[j]; w != 0 {
 			s += w * row[j]
 		}
 	}

@@ -23,9 +23,22 @@ type Model struct {
 	scratch  []float64
 	logw     []float64
 
+	// Per-bin observation constants, precomputed once so Observe is a
+	// single fused pass with one Lgamma per observation instead of one
+	// per bin: the Poisson log-likelihood of k packets under bin j is
+	// k·logRateTau[j] − rateTau[j] − lgamma(k+1).
+	rateTau    []float64 // max(binRate[j], likelihoodRateFloor)·τ
+	logRateTau []float64 // log of the same
+
 	kernel     []float64 // Brownian transition kernel per tick, by bin offset
 	radius     int       // kernel half-width in bins
 	outageStay float64   // exp(-λz τ): probability an outage persists a tick
+
+	// [lo, hi) bounds the posterior's nonzero support: probs[j] == 0 for
+	// every j outside the window, always. Evolution widens the window by
+	// the kernel radius; observation tightens it to the surviving mass.
+	// The evolution and mixture-CDF inner loops scan only live bins.
+	lo, hi int
 
 	ticks int64 // ticks processed (diagnostics)
 }
@@ -47,6 +60,16 @@ func NewModel(p Params) *Model {
 		m.binRate[j] = float64(j) * m.binWidth
 	}
 	tau := p.Tick.Seconds()
+	m.rateTau = make([]float64, n)
+	m.logRateTau = make([]float64, n)
+	for j := 0; j < n; j++ {
+		rate := m.binRate[j]
+		if rate < likelihoodRateFloor {
+			rate = likelihoodRateFloor
+		}
+		m.rateTau[j] = rate * tau
+		m.logRateTau[j] = math.Log(rate * tau)
+	}
 	stdBins := p.Sigma * math.Sqrt(tau) // packets/s of diffusion per tick
 	m.radius = int(math.Ceil(4*stdBins/m.binWidth)) + 1
 	if m.radius >= n {
@@ -59,9 +82,10 @@ func NewModel(p Params) *Model {
 }
 
 // Clone returns an independent copy of the filter: the posterior and
-// scratch buffers are deep-copied, while the bin grid and transition
-// kernel — which are never mutated in place (SetSigma installs a fresh
-// kernel) — are shared. Clones may be Ticked concurrently.
+// scratch buffers are deep-copied, while the bin grid, the precomputed
+// observation constants and the transition kernel — which are never
+// mutated in place (SetSigma installs a fresh kernel) — are shared.
+// Clones may be Ticked concurrently.
 func (m *Model) Clone() *Model {
 	c := *m
 	c.probs = append([]float64(nil), m.probs...)
@@ -101,6 +125,7 @@ func (m *Model) Reset() {
 	for i := range m.probs {
 		m.probs[i] = u
 	}
+	m.lo, m.hi = 0, len(m.probs)
 	m.ticks = 0
 }
 
@@ -123,7 +148,7 @@ func (m *Model) Distribution(dst []float64) []float64 {
 // outage-stickiness bias (§3.2 step 1). evolveInto is shared with the
 // forecaster, which evolves a scratch copy.
 func (m *Model) Evolve() {
-	evolveInto(m.scratch, m.probs, m.kernel, m.radius, m.outageStay)
+	m.lo, m.hi = evolveInto(m.scratch, m.probs, m.kernel, m.radius, m.outageStay, m.lo, m.hi)
 	m.probs, m.scratch = m.scratch, m.probs
 	m.ticks++
 }
@@ -133,24 +158,63 @@ func (m *Model) Evolve() {
 // bin 0 collects in bin 0 (entering an outage); mass above the top bin folds
 // into the top bin. Bin 0 itself keeps fraction outageStay in place and
 // diffuses only the escaping remainder.
-func evolveInto(dst, src, kernel []float64, radius int, outageStay float64) {
+//
+// [lo, hi) bounds src's nonzero support; only those bins are scanned. The
+// returned window bounds dst's support (one kernel radius wider, clamped).
+// Source bins are split into an interior region, whose inner loop is a
+// plain fused multiply-add with no folding branches, and the two edge
+// regions, which keep the fold-to-boundary switch. Bin visit order is
+// unchanged from the single branchy loop, so accumulation order — and
+// therefore every floating-point result — is identical.
+func evolveInto(dst, src, kernel []float64, radius int, outageStay float64, lo, hi int) (int, int) {
 	n := len(src)
 	for i := range dst {
 		dst[i] = 0
 	}
-	// Bins 1..n-1: plain truncated-Gaussian diffusion with folding.
-	for j := 1; j < n; j++ {
+	j := lo
+	if j < 1 {
+		j = 1
+	}
+	// Low edge: j < radius can diffuse below bin 0 (fold into outage).
+	for ; j < hi && j < radius; j++ {
 		pj := src[j]
 		if pj == 0 {
 			continue
 		}
-		lo := j - radius
-		hi := j + radius
-		for k := lo; k <= hi; k++ {
+		for k := j - radius; k <= j+radius; k++ {
 			w := kernel[k-j+radius]
 			switch {
 			case k < 0:
 				dst[0] += pj * w // diffused into outage
+			case k >= n:
+				dst[n-1] += pj * w
+			default:
+				dst[k] += pj * w
+			}
+		}
+	}
+	// Interior: the kernel fits entirely inside the grid — no folding.
+	for ; j < hi && j < n-radius; j++ {
+		pj := src[j]
+		if pj == 0 {
+			continue
+		}
+		row := dst[j-radius : j+radius+1]
+		for t, w := range kernel {
+			row[t] += pj * w
+		}
+	}
+	// High edge: j > n-1-radius folds into the top bin.
+	for ; j < hi; j++ {
+		pj := src[j]
+		if pj == 0 {
+			continue
+		}
+		for k := j - radius; k <= j+radius; k++ {
+			w := kernel[k-j+radius]
+			switch {
+			case k < 0:
+				dst[0] += pj * w
 			case k >= n:
 				dst[n-1] += pj * w
 			default:
@@ -176,27 +240,41 @@ func evolveInto(dst, src, kernel []float64, radius int, outageStay float64) {
 			}
 		}
 	}
+	// dst's support is src's support widened by one radius; any mass that
+	// would land below bin 1 folds into bin 0, so the window snaps to 0.
+	newLo := lo - radius
+	if newLo < 1 {
+		newLo = 0
+	}
+	newHi := hi + radius
+	if newHi > n {
+		newHi = n
+	}
+	return newLo, newHi
 }
 
 // Observe multiplies in the Poisson likelihood of seeing `packets`
 // MTU-equivalents during one tick and renormalizes (§3.2 steps 2–3).
 // packets may be fractional (bytes divided by the MTU).
+//
+// The per-bin log-likelihood uses the precomputed log(λτ) table and hoists
+// the single k-dependent lgamma out of the loop, and every pass scans only
+// the support window. The arithmetic (operand values, operation order) is
+// unchanged, so the posterior is bit-identical to the unfused form.
 func (m *Model) Observe(packets float64) {
 	if packets < 0 {
 		packets = 0
 	}
-	tau := m.p.Tick.Seconds()
+	lg, _ := math.Lgamma(packets + 1)
+	lo, hi := m.lo, m.hi
 	maxLog := math.Inf(-1)
-	for j, pj := range m.probs {
+	for j := lo; j < hi; j++ {
+		pj := m.probs[j]
 		if pj == 0 {
 			m.logw[j] = math.Inf(-1)
 			continue
 		}
-		rate := m.binRate[j]
-		if rate < likelihoodRateFloor {
-			rate = likelihoodRateFloor
-		}
-		lw := math.Log(pj) + stats.PoissonLogPMF(rate*tau, packets)
+		lw := math.Log(pj) + (packets*m.logRateTau[j] - m.rateTau[j] - lg)
 		m.logw[j] = lw
 		if lw > maxLog {
 			maxLog = lw
@@ -209,15 +287,26 @@ func (m *Model) Observe(packets float64) {
 		return
 	}
 	var sum float64
-	for j := range m.probs {
+	for j := lo; j < hi; j++ {
 		w := math.Exp(m.logw[j] - maxLog)
 		m.probs[j] = w
 		sum += w
 	}
 	inv := 1 / sum
-	for j := range m.probs {
-		m.probs[j] *= inv
+	// Normalize and tighten the window to the bins whose mass survived
+	// (exp underflow can zero the far tails).
+	nlo, nhi := -1, lo
+	for j := lo; j < hi; j++ {
+		p := m.probs[j] * inv
+		m.probs[j] = p
+		if p != 0 {
+			if nlo < 0 {
+				nlo = j
+			}
+			nhi = j + 1
+		}
 	}
+	m.lo, m.hi = nlo, nhi
 }
 
 // ObserveAtLeast multiplies in the censored likelihood P(C >= packets) and
@@ -229,18 +318,14 @@ func (m *Model) ObserveAtLeast(packets float64) {
 	if packets <= 0 {
 		return
 	}
-	tau := m.p.Tick.Seconds()
 	k := int(math.Ceil(packets)) - 1 // survival = 1 - CDF(ceil(k)-1)
+	lo, hi := m.lo, m.hi
 	var sum float64
-	for j := range m.probs {
+	for j := lo; j < hi; j++ {
 		if m.probs[j] == 0 {
 			continue
 		}
-		rate := m.binRate[j]
-		if rate < likelihoodRateFloor {
-			rate = likelihoodRateFloor
-		}
-		surv := 1 - stats.PoissonCDF(rate*tau, k)
+		surv := 1 - stats.PoissonCDF(m.rateTau[j], k)
 		m.probs[j] *= surv
 		sum += m.probs[j]
 	}
@@ -249,9 +334,18 @@ func (m *Model) ObserveAtLeast(packets float64) {
 		return
 	}
 	inv := 1 / sum
-	for j := range m.probs {
-		m.probs[j] *= inv
+	nlo, nhi := -1, lo
+	for j := lo; j < hi; j++ {
+		p := m.probs[j] * inv
+		m.probs[j] = p
+		if p != 0 {
+			if nlo < 0 {
+				nlo = j
+			}
+			nhi = j + 1
+		}
 	}
+	m.lo, m.hi = nlo, nhi
 }
 
 // Tick performs one full inference update: evolve then observe.
@@ -260,11 +354,13 @@ func (m *Model) Tick(packets float64) {
 	m.Observe(packets)
 }
 
-// Mean returns the posterior mean rate in packets/s.
+// Mean returns the posterior mean rate in packets/s. Bins outside the
+// support window are exactly zero, so the windowed sum is bit-identical to
+// the full scan.
 func (m *Model) Mean() float64 {
 	var s float64
-	for j, p := range m.probs {
-		s += p * m.binRate[j]
+	for j := m.lo; j < m.hi; j++ {
+		s += m.probs[j] * m.binRate[j]
 	}
 	return s
 }
@@ -272,8 +368,8 @@ func (m *Model) Mean() float64 {
 // MAP returns the posterior-mode rate in packets/s.
 func (m *Model) MAP() float64 {
 	best, bestP := 0, m.probs[0]
-	for j, p := range m.probs {
-		if p > bestP {
+	for j := m.lo; j < m.hi; j++ {
+		if p := m.probs[j]; p > bestP {
 			best, bestP = j, p
 		}
 	}

@@ -64,10 +64,13 @@ func TestEvolveMatchesNaiveReference(t *testing.T) {
 		}
 		want := naiveEvolve(src, m.kernel, m.radius, m.outageStay)
 		got := make([]float64, len(src))
-		evolveInto(got, src, m.kernel, m.radius, m.outageStay)
+		lo, hi := evolveInto(got, src, m.kernel, m.radius, m.outageStay, 0, len(src))
 		for i := range got {
 			if math.Abs(got[i]-want[i]) > 1e-12 {
 				return false
+			}
+			if (i < lo || i >= hi) && got[i] != 0 {
+				return false // support-window invariant violated
 			}
 		}
 		return true

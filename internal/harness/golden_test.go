@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenMatrixHash pins the bit-exact result of a reduced matrix run. It was
+// recorded before the allocation-free event-loop/inference rework (PR 3) and
+// must never change for this (duration, skip, seed, schemes) tuple: the hash
+// covers the raw IEEE-754 bits of every cell, so any floating-point or
+// event-ordering drift in the hot paths shows up here as a failure.
+const goldenMatrixHash = "3764c685f79a19e50f4d096226e15bab75bed0979dfc936eda47060ac4d2a9f3"
+
+// goldenLinks are the two links whose cells feed the hash (one LTE, one 3G,
+// covering both trace shapes).
+var goldenLinks = []string{"Verizon LTE Downlink", "T-Mobile 3G (UMTS) Uplink"}
+
+var goldenSchemes = []string{"sprout", "cubic"}
+
+// hashCells serializes cells bit-exactly (Float64bits, not decimal
+// formatting) and returns the SHA-256 hex digest.
+func hashCells(m *Matrix, links, schemes []string) string {
+	var b strings.Builder
+	for _, l := range links {
+		row, ok := m.Cells[l]
+		if !ok {
+			fmt.Fprintf(&b, "%s:MISSING\n", l)
+			continue
+		}
+		for _, s := range schemes {
+			c := row[s]
+			fmt.Fprintf(&b, "%s|%s|%016x|%016x|%016x|%016x\n",
+				l, s,
+				math.Float64bits(c.ThroughputKbps),
+				math.Float64bits(c.SelfInflictedMs),
+				math.Float64bits(c.Utilization),
+				math.Float64bits(c.MeanDelayMs))
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestMatrixGoldenHash asserts that the matrix outputs on two canonical
+// links are byte-identical to the pre-PR baseline at a fixed seed, at both
+// serial and parallel worker counts.
+func TestMatrixGoldenHash(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		m, err := RunMatrix(Options{
+			Duration: 8 * time.Second, Skip: 2 * time.Second, Seed: 7, Workers: workers,
+		}, goldenSchemes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range goldenLinks {
+			if _, ok := m.Cells[l]; !ok {
+				t.Fatalf("link %q missing from matrix (links: %v)", l, m.Links)
+			}
+		}
+		if got := hashCells(m, goldenLinks, goldenSchemes); got != goldenMatrixHash {
+			t.Errorf("workers=%d: matrix hash = %s, want %s (outputs are not byte-identical to the recorded baseline)",
+				workers, got, goldenMatrixHash)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package link
+
+import (
+	"testing"
+	"time"
+
+	"sprout/internal/network"
+	"sprout/internal/sim"
+	"sprout/internal/trace"
+)
+
+// TestLinkDeliverySteadyStateAllocs: once the arrival ring, bottleneck
+// FIFO and event arena have warmed up, carrying a packet across the link —
+// Send, propagation delay, enqueue, delivery opportunity, handler — must
+// not allocate.
+func TestLinkDeliverySteadyStateAllocs(t *testing.T) {
+	ops := make([]time.Duration, 10_000)
+	for i := range ops {
+		ops[i] = time.Duration(i) * time.Millisecond
+	}
+	tr := &trace.Trace{Name: "alloc", Opportunities: ops}
+	loop := sim.New()
+	delivered := 0
+	l := New(loop, Config{Trace: tr, PropagationDelay: 5 * time.Millisecond},
+		func(p *network.Packet) { delivered++ })
+
+	pkt := &network.Packet{Size: network.MTU, Payload: make([]byte, 0)}
+	step := func() {
+		pkt.SentAt = loop.Now()
+		l.Send(pkt)
+		// Drain until the packet has crossed (arrival + opportunity).
+		for before := delivered; delivered == before; {
+			if !loop.Step() {
+				t.Fatal("loop drained without delivering")
+			}
+		}
+	}
+	for i := 0; i < 64; i++ { // warm rings and arena
+		step()
+	}
+	allocs := testing.AllocsPerRun(500, step)
+	if allocs != 0 {
+		t.Errorf("steady-state link delivery allocates %v allocs/op, want 0", allocs)
+	}
+	if delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+}
+
+// TestFIFOSteadyStateAllocs: balanced push/pop must never reallocate the
+// ring (the previous slice-backed queue leaked capacity on every pop).
+func TestFIFOSteadyStateAllocs(t *testing.T) {
+	var q FIFO
+	pkt := &network.Packet{Size: 100}
+	for i := 0; i < 32; i++ {
+		q.Push(pkt)
+	}
+	allocs := testing.AllocsPerRun(10_000, func() {
+		q.Push(pkt)
+		q.Pop()
+	})
+	if allocs != 0 {
+		t.Errorf("FIFO push/pop allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -77,20 +77,33 @@ type Link struct {
 	nextOp   int           // index into trace opportunities
 	wrapBase time.Duration // accumulated offset from trace repetition
 
-	// Telemetry.
-	deliveries     []Delivery
-	recordLog      bool
-	delivered      int64 // bytes
-	dropsLoss      int64 // packets dropped by random loss
-	dropsQueue     int64 // packets dropped by the queue bound
-	dropsAQM       int64 // packets dropped by the AQM
-	wasted         int64 // opportunities that found an empty queue
-	inTransmission *partial
-}
+	// The propagation delay is constant, so packets emerge from it in the
+	// order they were submitted. On a virtual-time loop, instead of one
+	// heap event (and one closure) per in-flight packet, pending arrivals
+	// wait in a ring drained by a single standing timer. Each Send
+	// reserves its (time, sequence) priority up front, so the arrival
+	// fires at exactly the instant and tie-break rank a per-packet event
+	// would have had — experiment outputs are byte-identical.
+	seqr     sim.Sequencer // nil on real-time clocks: fall back to After
+	arrivals ring[arrival]
+	arriveFn func() // built once; re-armed for each ring head
 
-type partial struct {
-	pkt  *network.Packet
-	sent int // bytes already transmitted
+	opTimer sim.Timer
+	opFn    func() // built once for the delivery-opportunity schedule
+
+	// Telemetry.
+	deliveries []Delivery
+	recordLog  bool
+	delivered  int64 // bytes
+	dropsLoss  int64 // packets dropped by random loss
+	dropsQueue int64 // packets dropped by the queue bound
+	dropsAQM   int64 // packets dropped by the AQM
+	wasted     int64 // opportunities that found an empty queue
+
+	// Packet mid-transmission across opportunities (per-byte accounting),
+	// held inline so partial transmissions do not allocate.
+	txPkt  *network.Packet // nil when no transmission is in progress
+	txSent int             // bytes of txPkt already transmitted
 }
 
 // New creates a link on the given clock and starts its delivery schedule.
@@ -109,6 +122,9 @@ func New(clock sim.Clock, cfg Config, deliver network.Handler) *Link {
 		deq = DropTail{}
 	}
 	l := &Link{cfg: cfg, clock: clock, deq: deq, deliver: deliver}
+	l.seqr, _ = clock.(sim.Sequencer)
+	l.arriveFn = l.arrive
+	l.opFn = l.opportunity
 	l.scheduleNextOpportunity()
 	return l
 }
@@ -136,8 +152,8 @@ func (l *Link) WastedOpportunities() int64 { return l.wasted }
 // partially transmitted packet's untransmitted remainder).
 func (l *Link) QueueBytes() int {
 	b := l.queue.Bytes()
-	if l.inTransmission != nil {
-		b += l.inTransmission.pkt.Size - l.inTransmission.sent
+	if l.txPkt != nil {
+		b += l.txPkt.Size - l.txSent
 	}
 	return b
 }
@@ -148,7 +164,40 @@ func (l *Link) QueueLen() int { return l.queue.Len() }
 // Send submits a packet to the link at the current virtual time. The packet
 // experiences the propagation delay, then joins the queue.
 func (l *Link) Send(pkt *network.Packet) {
-	l.clock.After(l.cfg.PropagationDelay, func() { l.enqueue(pkt) })
+	if l.seqr == nil {
+		// Real-time clock: no priority reservations, one timer per packet.
+		l.clock.After(l.cfg.PropagationDelay, func() { l.enqueue(pkt) })
+		return
+	}
+	res := l.seqr.Reserve(l.cfg.PropagationDelay)
+	wasEmpty := l.arrivals.empty()
+	l.arrivals.push(arrival{res: res, pkt: pkt})
+	if wasEmpty {
+		l.armArrival()
+	}
+}
+
+// armArrival points the standing timer at the ring head's reserved
+// priority.
+func (l *Link) armArrival() {
+	l.seqr.ScheduleReserved(l.arrivals.peek().res, l.arriveFn)
+}
+
+// arrive fires at the ring head's reserved instant: exactly one packet
+// completes its propagation delay per firing (matching the one-event-per-
+// packet schedule it replaces), then the timer is re-armed for the next.
+func (l *Link) arrive() {
+	a := l.arrivals.pop()
+	if !l.arrivals.empty() {
+		l.armArrival()
+	}
+	l.enqueue(a.pkt)
+}
+
+// arrival is one packet in flight across the propagation delay.
+type arrival struct {
+	res sim.Reservation
+	pkt *network.Packet
 }
 
 func (l *Link) enqueue(pkt *network.Packet) {
@@ -182,7 +231,7 @@ func (l *Link) scheduleNextOpportunity() {
 	}
 	at := l.wrapBase + ops[l.nextOp]
 	l.nextOp++
-	l.clock.After(at-l.clock.Now(), l.opportunity)
+	l.opTimer = sim.Reschedule(l.clock, l.opTimer, at-l.clock.Now(), l.opFn)
 }
 
 // opportunity releases up to MTU bytes from the queue (per-byte accounting).
@@ -192,7 +241,7 @@ func (l *Link) opportunity() {
 	now := l.clock.Now()
 	progress := false
 	for budget > 0 {
-		if l.inTransmission == nil {
+		if l.txPkt == nil {
 			before := l.queue.Len()
 			pkt := l.deq.Next(now, &l.queue)
 			popped := before - l.queue.Len()
@@ -201,31 +250,31 @@ func (l *Link) opportunity() {
 				break
 			}
 			l.dropsAQM += int64(popped - 1)
-			l.inTransmission = &partial{pkt: pkt}
+			l.txPkt, l.txSent = pkt, 0
 		}
-		p := l.inTransmission
-		need := p.pkt.Size - p.sent
+		need := l.txPkt.Size - l.txSent
 		if need > budget {
-			p.sent += budget
+			l.txSent += budget
 			budget = 0
 			progress = true
 			break
 		}
 		budget -= need
-		l.inTransmission = nil
-		l.delivered += int64(p.pkt.Size)
+		pkt := l.txPkt
+		l.txPkt, l.txSent = nil, 0
+		l.delivered += int64(pkt.Size)
 		progress = true
 		if l.recordLog {
 			l.deliveries = append(l.deliveries, Delivery{
-				SentAt:      p.pkt.SentAt,
+				SentAt:      pkt.SentAt,
 				DeliveredAt: now,
-				Size:        p.pkt.Size,
-				Seq:         p.pkt.Seq,
-				Flow:        p.pkt.Flow,
+				Size:        pkt.Size,
+				Seq:         pkt.Seq,
+				Flow:        pkt.Flow,
 			})
 		}
 		if l.deliver != nil {
-			l.deliver(p.pkt)
+			l.deliver(pkt)
 		}
 	}
 	if !progress {

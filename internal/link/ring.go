@@ -1,0 +1,49 @@
+package link
+
+// ring is a power-of-two FIFO ring buffer. Balanced push/pop never
+// reallocates, so steady-state use is allocation-free. It backs both the
+// bottleneck queue (FIFO) and the in-flight arrival queue.
+type ring[T any] struct {
+	buf        []T    // len(buf) is zero or a power of two
+	head, tail uint64 // monotonically increasing; count = tail-head
+}
+
+func (r *ring[T]) len() int    { return int(r.tail - r.head) }
+func (r *ring[T]) empty() bool { return r.head == r.tail }
+
+// peek returns a pointer to the head element; the ring must be non-empty.
+func (r *ring[T]) peek() *T { return &r.buf[r.head&uint64(len(r.buf)-1)] }
+
+func (r *ring[T]) push(v T) {
+	if int(r.tail-r.head) == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail&uint64(len(r.buf)-1)] = v
+	r.tail++
+}
+
+// pop removes and returns the head element, zeroing its slot so the ring
+// does not retain references; the ring must be non-empty.
+func (r *ring[T]) pop() T {
+	i := r.head & uint64(len(r.buf)-1)
+	v := r.buf[i]
+	var zero T
+	r.buf[i] = zero
+	r.head++
+	return v
+}
+
+// grow doubles the ring, unwrapping the live region into the new storage.
+func (r *ring[T]) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	buf := make([]T, n)
+	cnt := int(r.tail - r.head)
+	for i := 0; i < cnt; i++ {
+		buf[i] = r.buf[(r.head+uint64(i))&uint64(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head, r.tail = 0, uint64(cnt)
+}

@@ -58,7 +58,7 @@ func (c *Clock) After(d time.Duration, fn func()) sim.Timer {
 		rt.mu.Unlock()
 		fn()
 	})
-	return rt
+	return sim.ExternalTimer(rt)
 }
 
 type rtTimer struct {
@@ -68,7 +68,7 @@ type rtTimer struct {
 	fired   bool
 }
 
-// Stop implements sim.Timer.
+// Stop implements sim.Stopper.
 func (t *rtTimer) Stop() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()

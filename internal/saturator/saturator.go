@@ -72,6 +72,10 @@ type Sender struct {
 	nextSeq  int64
 	sentAt   map[int64]time.Duration
 
+	pumpTimer  sim.Timer
+	pumpFn     func() // built once so the refill timers do not allocate
+	pumpOnceFn func()
+
 	rttEWMA time.Duration
 
 	sent, echoes int64
@@ -103,7 +107,9 @@ func NewSender(cfg SenderConfig) *Sender {
 		window: w,
 		sentAt: make(map[int64]time.Duration),
 	}
-	s.clock.After(0, s.pump)
+	s.pumpFn = s.pump
+	s.pumpOnceFn = s.pumpOnce
+	s.clock.After(0, s.pumpFn)
 	return s
 }
 
@@ -119,7 +125,7 @@ func (s *Sender) Stats() (sent, echoes int64) { return s.sent, s.echoes }
 // pump tops the window up; it reschedules itself so the saturator recovers
 // even if every in-flight packet is lost.
 func (s *Sender) pump() {
-	s.clock.After(100*time.Millisecond, s.pump)
+	s.pumpTimer = sim.Reschedule(s.clock, s.pumpTimer, 100*time.Millisecond, s.pumpFn)
 	now := s.clock.Now()
 	for s.inFlight < s.window {
 		pkt := &network.Packet{
@@ -173,7 +179,7 @@ func (s *Sender) Receive(pkt *network.Packet) {
 	case s.rttEWMA > MaxRTT && s.window > 2:
 		s.window--
 	}
-	s.clock.After(0, func() { s.pumpOnce() })
+	s.clock.After(0, s.pumpOnceFn)
 }
 
 // pumpOnce tops up without rescheduling (echo-clocked refill).

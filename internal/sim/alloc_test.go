@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAfterStepSteadyStateAllocs: a self-rescheduling timer cycle —
+// the shape of every periodic component in the simulator — must not
+// allocate once the slot arena has warmed up.
+func TestAfterStepSteadyStateAllocs(t *testing.T) {
+	l := New()
+	var tick func()
+	tick = func() { l.After(time.Millisecond, tick) }
+	l.After(0, tick)
+	for i := 0; i < 100; i++ { // warm the arena
+		l.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("After+Step cycle allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestRescheduleSteadyStateAllocs: re-arming a pending timer in place must
+// not allocate at all, even without a Step in between.
+func TestRescheduleSteadyStateAllocs(t *testing.T) {
+	l := New()
+	fn := func() {}
+	tm := l.After(time.Second, fn)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm = l.Reschedule(tm, time.Second, fn)
+	})
+	if allocs != 0 {
+		t.Errorf("Reschedule allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestReserveScheduleSteadyStateAllocs covers the link's standing-timer
+// pattern: reserve, schedule, fire.
+func TestReserveScheduleSteadyStateAllocs(t *testing.T) {
+	l := New()
+	fn := func() {}
+	for i := 0; i < 100; i++ { // warm the arena
+		l.ScheduleReserved(l.Reserve(0), fn)
+		l.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.ScheduleReserved(l.Reserve(time.Microsecond), fn)
+		l.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("Reserve+ScheduleReserved+Step allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestRescheduleReusesSlotInPlace(t *testing.T) {
+	l := New()
+	var fired []string
+	tm := l.After(10*time.Millisecond, func() { fired = append(fired, "old") })
+	tm = l.Reschedule(tm, 30*time.Millisecond, func() { fired = append(fired, "new") })
+	l.After(20*time.Millisecond, func() { fired = append(fired, "mid") })
+	l.Run(time.Second)
+	if len(fired) != 2 || fired[0] != "mid" || fired[1] != "new" {
+		t.Errorf("fired = %v, want [mid new]", fired)
+	}
+	if tm.Stop() {
+		t.Error("Stop after fire returned true")
+	}
+}
+
+// TestStaleHandleAfterReuse: once a slot has been recycled for an
+// unrelated event, a Stop through the old handle must be a no-op.
+func TestStaleHandleAfterReuse(t *testing.T) {
+	l := New()
+	stale := l.After(time.Millisecond, func() {})
+	l.Run(10 * time.Millisecond) // fires; slot returns to the free list
+	fired := false
+	l.After(time.Millisecond, func() { fired = true }) // reuses the slot
+	if stale.Stop() {
+		t.Error("stale handle Stop returned true")
+	}
+	l.Run(time.Second)
+	if !fired {
+		t.Error("stale handle cancelled an unrelated event")
+	}
+}
+
+// TestRescheduleInvalidatesOldHandle: after an in-place re-arm, the
+// pre-reschedule handle must no longer control the slot.
+func TestRescheduleInvalidatesOldHandle(t *testing.T) {
+	l := New()
+	fired := false
+	old := l.After(time.Millisecond, func() {})
+	fresh := l.Reschedule(old, 2*time.Millisecond, func() { fired = true })
+	if old.Stop() {
+		t.Error("old handle Stop returned true after Reschedule")
+	}
+	l.Run(time.Second)
+	if !fired {
+		t.Error("old handle cancelled the rescheduled event")
+	}
+	if fresh.Stop() {
+		t.Error("Stop after fire returned true")
+	}
+}
+
+// TestReservedPriorityOrder: an event scheduled later from a reservation
+// fires in the position its reservation was taken, not its scheduling time.
+func TestReservedPriorityOrder(t *testing.T) {
+	l := New()
+	var order []int
+	res := l.Reserve(time.Millisecond) // reserve first...
+	l.At(time.Millisecond, func() { order = append(order, 2) })
+	l.ScheduleReserved(res, func() { order = append(order, 1) }) // ...schedule second
+	l.Run(time.Second)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("order = %v, want [1 2] (reservation outranks later At)", order)
+	}
+}
+
+func TestZeroTimerStop(t *testing.T) {
+	var tm Timer
+	if tm.Stop() {
+		t.Error("zero Timer Stop returned true")
+	}
+}
+
+// TestPendingIsExactAfterStops: cancellation removes events eagerly, so
+// Pending never counts ghosts.
+func TestPendingIsExactAfterStops(t *testing.T) {
+	l := New()
+	timers := make([]Timer, 100)
+	for i := range timers {
+		timers[i] = l.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	for i := 0; i < 50; i++ {
+		timers[2*i].Stop()
+	}
+	if got := l.Pending(); got != 50 {
+		t.Errorf("Pending = %d, want 50", got)
+	}
+	n := 0
+	for l.Step() {
+		n++
+	}
+	if n != 50 {
+		t.Errorf("ran %d events, want 50", n)
+	}
+}
+
+// BenchmarkLoopTimerReuse measures the Reschedule-based periodic pattern
+// used by the sender tick, heartbeat and link opportunity schedule.
+func BenchmarkLoopTimerReuse(b *testing.B) {
+	l := New()
+	var tm Timer
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			tm = l.Reschedule(tm, time.Microsecond, tick)
+		}
+	}
+	tm = l.After(0, tick)
+	b.ResetTimer()
+	l.Run(time.Duration(b.N+1) * time.Microsecond)
+}

@@ -6,10 +6,16 @@
 // Events scheduled for the same instant fire in the order they were
 // scheduled (FIFO tie-break), which makes every experiment byte-for-byte
 // reproducible for a given seed.
+//
+// The loop is allocation-free in steady state: events live in a pooled
+// arena of slots recycled through a free list, the priority queue is a
+// hand-rolled min-heap over those slots (no container/heap, no interface
+// boxing), and Timer handles are small values whose generation counter
+// keeps Stop safe after a slot has been reused. Periodic callers re-arm
+// one timer with Reschedule instead of allocating a new one every firing.
 package sim
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -26,69 +32,103 @@ type Clock interface {
 	After(d time.Duration, fn func()) Timer
 }
 
-// Timer is a handle to a scheduled callback. The virtual-time loop and the
-// real-time clock in internal/realtime each provide an implementation.
-type Timer interface {
+// Stopper is the cancellation half of an external (non-Loop) timer
+// implementation, wrapped into a Timer by ExternalTimer.
+type Stopper interface {
 	// Stop cancels the callback if it has not fired yet. It reports
 	// whether the call prevented the callback from firing.
 	Stop() bool
 }
 
-// loopTimer is the Loop's Timer implementation.
-type loopTimer struct {
-	ev *event
+// Timer is a handle to a scheduled callback. The zero value is a valid
+// handle to nothing: Stop on it returns false. For the virtual-time Loop
+// the handle is (slot, generation); the generation check makes Stop safe
+// to call after the event has fired and its slot has been recycled for an
+// unrelated event.
+type Timer struct {
+	s    *slot
+	gen  uint32
+	impl Stopper // non-Loop clocks (internal/realtime)
 }
 
-func (t *loopTimer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
-		return false
+// ExternalTimer wraps a non-Loop timer implementation in a Timer handle.
+func ExternalTimer(s Stopper) Timer { return Timer{impl: s} }
+
+// Stop cancels the callback if it has not fired yet. It reports whether
+// the call prevented the callback from firing.
+func (t Timer) Stop() bool {
+	if t.s != nil {
+		return t.s.loop.stopSlot(t.s, t.gen)
 	}
-	t.ev.cancelled = true
-	return true
-}
-
-type event struct {
-	at        time.Duration
-	seq       uint64 // FIFO tie-break for equal times
-	fn        func()
-	cancelled bool
-	fired     bool
-	index     int // heap index
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	if t.impl != nil {
+		return t.impl.Stop()
 	}
-	return h[i].seq < h[j].seq
+	return false
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// Rescheduler is implemented by clocks whose timers can be re-armed
+// cheaply in place. The package-level Reschedule helper falls back to
+// Stop+After on clocks that do not implement it.
+type Rescheduler interface {
+	Reschedule(t Timer, d time.Duration, fn func()) Timer
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+// Reschedule cancels t (if still pending) and schedules fn to run d from
+// now on c, reusing t's resources when the clock supports it. Periodic
+// callers should hold one Timer and one prebuilt fn and re-arm through
+// this helper; on the virtual-time Loop the whole cycle is allocation-free.
+func Reschedule(c Clock, t Timer, d time.Duration, fn func()) Timer {
+	if r, ok := c.(Rescheduler); ok {
+		return r.Reschedule(t, d, fn)
+	}
+	t.Stop()
+	return c.After(d, fn)
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// slot is one pooled event in the loop's arena. Slots are allocated in
+// blocks, recycled through a free list, and never individually freed, so
+// pointers to them stay valid for the life of the loop.
+type slot struct {
+	loop *Loop
+	at   time.Duration
+	seq  uint64 // FIFO tie-break for equal times
+	fn   func()
+	gen  uint32 // bumped on every retire/re-arm; validates Timer handles
+	idx  int32  // position in the heap; -1 when not queued
+}
+
+// slotBlock is how many slots are allocated at once when the free list
+// runs dry. Steady-state experiments stop growing after warmup.
+const slotBlock = 64
+
+// Reservation is a pre-allocated position in the loop's total event order:
+// the (time, sequence) priority an event scheduled now would receive.
+// Components whose callbacks are known to fire in FIFO order (e.g. the
+// link's constant propagation delay) can Reserve at submission time and
+// ScheduleReserved later from a single standing timer, preserving exactly
+// the tie-break order that per-event scheduling would have produced.
+type Reservation struct {
+	at  time.Duration
+	seq uint64
+}
+
+// Time returns the virtual time the reservation is for.
+func (r Reservation) Time() time.Duration { return r.at }
+
+// Sequencer is implemented by clocks that support priority reservations
+// (the virtual-time Loop). Real-time clocks do not; callers fall back to
+// per-event After.
+type Sequencer interface {
+	Reserve(d time.Duration) Reservation
+	ScheduleReserved(r Reservation, fn func()) Timer
 }
 
 // Loop is a discrete-event simulation loop. The zero value is ready to use.
 type Loop struct {
-	now    time.Duration
-	seq    uint64
-	events eventHeap
+	now  time.Duration
+	seq  uint64
+	heap []*slot // min-heap on (at, seq); every entry is live
+	free []*slot // retired slots awaiting reuse
 }
 
 // New returns a Loop starting at virtual time zero.
@@ -97,16 +137,46 @@ func New() *Loop { return &Loop{} }
 // Now returns the current virtual time.
 func (l *Loop) Now() time.Duration { return l.now }
 
+// alloc takes a slot from the free list, growing the arena by one block
+// when empty.
+func (l *Loop) alloc() *slot {
+	if n := len(l.free); n > 0 {
+		s := l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		return s
+	}
+	block := make([]slot, slotBlock)
+	for i := range block {
+		block[i].loop = l
+		block[i].idx = -1
+	}
+	for i := 1; i < len(block); i++ {
+		l.free = append(l.free, &block[i])
+	}
+	return &block[0]
+}
+
+// retire returns a fired or cancelled slot to the free list, invalidating
+// outstanding Timer handles via the generation counter.
+func (l *Loop) retire(s *slot) {
+	s.fn = nil
+	s.gen++
+	s.idx = -1
+	l.free = append(l.free, s)
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // fires the event at the current time instead (events never run backward).
 func (l *Loop) At(t time.Duration, fn func()) Timer {
 	if t < l.now {
 		t = l.now
 	}
-	ev := &event{at: t, seq: l.seq, fn: fn}
+	s := l.alloc()
+	s.at, s.seq, s.fn = t, l.seq, fn
 	l.seq++
-	heap.Push(&l.events, ev)
-	return &loopTimer{ev: ev}
+	l.push(s)
+	return Timer{s: s, gen: s.gen}
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -114,35 +184,85 @@ func (l *Loop) After(d time.Duration, fn func()) Timer {
 	return l.At(l.now+d, fn)
 }
 
+// Reschedule implements Rescheduler: it re-arms t to fire fn d from now,
+// reusing t's slot in place when t is still pending on this loop. Exactly
+// one sequence number is consumed, the same as After, so replacing a
+// Stop+After pair with Reschedule leaves the event order untouched.
+func (l *Loop) Reschedule(t Timer, d time.Duration, fn func()) Timer {
+	at := l.now + d
+	if at < l.now {
+		at = l.now
+	}
+	if s := t.s; s != nil && s.loop == l && s.gen == t.gen && s.idx >= 0 {
+		s.at, s.seq, s.fn = at, l.seq, fn
+		l.seq++
+		s.gen++ // invalidate the old handle
+		l.fix(int(s.idx))
+		return Timer{s: s, gen: s.gen}
+	}
+	t.Stop()
+	return l.At(at, fn)
+}
+
+// Reserve implements Sequencer: it consumes the (time, sequence) priority
+// an event scheduled d from now would get, without scheduling anything.
+func (l *Loop) Reserve(d time.Duration) Reservation {
+	at := l.now + d
+	if at < l.now {
+		at = l.now
+	}
+	r := Reservation{at: at, seq: l.seq}
+	l.seq++
+	return r
+}
+
+// ScheduleReserved implements Sequencer: it schedules fn at exactly the
+// reserved priority. The reservation must not be in the past (reserving
+// with d >= 0 and scheduling no later than the reserved time guarantees
+// this); a stale reservation is clamped to the current instant.
+func (l *Loop) ScheduleReserved(r Reservation, fn func()) Timer {
+	at := r.at
+	if at < l.now {
+		at = l.now
+	}
+	s := l.alloc()
+	s.at, s.seq, s.fn = at, r.seq, fn
+	l.push(s)
+	return Timer{s: s, gen: s.gen}
+}
+
+// stopSlot cancels the event in s if the handle generation still matches.
+// The slot is removed from the heap immediately and recycled, so cancelled
+// ghosts never accumulate and Pending stays exact without scanning.
+func (l *Loop) stopSlot(s *slot, gen uint32) bool {
+	if s.gen != gen || s.idx < 0 {
+		return false
+	}
+	l.remove(int(s.idx))
+	l.retire(s)
+	return true
+}
+
 // Step runs the single earliest pending event, advancing the clock to its
 // time. It reports whether an event was run.
 func (l *Loop) Step() bool {
-	for l.events.Len() > 0 {
-		ev := heap.Pop(&l.events).(*event)
-		if ev.cancelled {
-			continue
-		}
-		l.now = ev.at
-		ev.fired = true
-		ev.fn()
-		return true
+	if len(l.heap) == 0 {
+		return false
 	}
-	return false
+	s := l.heap[0]
+	l.remove(0)
+	l.now = s.at
+	fn := s.fn
+	l.retire(s) // before fn so a re-arm inside fn can reuse the hot slot
+	fn()
+	return true
 }
 
 // Run executes events in order until the event queue is empty or the next
 // event is later than until. The clock finishes at until (or at the last
 // event time if that is later — it never rewinds).
 func (l *Loop) Run(until time.Duration) {
-	for l.events.Len() > 0 {
-		next := l.events[0]
-		if next.cancelled {
-			heap.Pop(&l.events)
-			continue
-		}
-		if next.at > until {
-			break
-		}
+	for len(l.heap) > 0 && l.heap[0].at <= until {
 		l.Step()
 	}
 	if until > l.now {
@@ -150,13 +270,86 @@ func (l *Loop) Run(until time.Duration) {
 	}
 }
 
-// Pending returns the number of scheduled (uncancelled) events.
-func (l *Loop) Pending() int {
-	n := 0
-	for _, ev := range l.events {
-		if !ev.cancelled {
-			n++
-		}
+// Pending returns the number of scheduled events. Cancellation removes
+// events from the heap eagerly, so this is an exact O(1) count.
+func (l *Loop) Pending() int { return len(l.heap) }
+
+// --- min-heap on (at, seq), indices tracked in the slots ---
+
+func slotLess(a, b *slot) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return n
+	return a.seq < b.seq
+}
+
+func (l *Loop) push(s *slot) {
+	s.idx = int32(len(l.heap))
+	l.heap = append(l.heap, s)
+	l.siftUp(len(l.heap) - 1)
+}
+
+// remove deletes the entry at heap index i, restoring the heap property.
+func (l *Loop) remove(i int) {
+	h := l.heap
+	n := len(h) - 1
+	if i != n {
+		h[i] = h[n]
+		h[i].idx = int32(i)
+	}
+	h[n] = nil
+	l.heap = h[:n]
+	if i != n {
+		l.fix(i)
+	}
+}
+
+// fix restores the heap property around index i after its key changed.
+func (l *Loop) fix(i int) {
+	if !l.siftDown(i) {
+		l.siftUp(i)
+	}
+}
+
+func (l *Loop) siftUp(i int) {
+	h := l.heap
+	s := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !slotLess(s, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].idx = int32(i)
+		i = parent
+	}
+	h[i] = s
+	s.idx = int32(i)
+}
+
+// siftDown moves the entry at i toward the leaves; it reports whether the
+// entry moved.
+func (l *Loop) siftDown(i int) bool {
+	h := l.heap
+	n := len(h)
+	s := h[i]
+	start := i
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && slotLess(h[r], h[child]) {
+			child = r
+		}
+		if !slotLess(h[child], s) {
+			break
+		}
+		h[i] = h[child]
+		h[i].idx = int32(i)
+		i = child
+	}
+	h[i] = s
+	s.idx = int32(i)
+	return i != start
 }

@@ -57,6 +57,7 @@ type Sender struct {
 	rto          time.Duration
 	minRTT       time.Duration
 	rtoTimer     sim.Timer
+	timeoutFn    func() // built once so re-arming the RTO does not allocate
 	backoff      int
 
 	// Counters.
@@ -79,6 +80,7 @@ func NewSender(cfg SenderConfig) *Sender {
 		rto:         time.Second, // RFC 6298 initial RTO
 		minRTT:      time.Hour,
 	}
+	s.timeoutFn = s.onTimeout
 	s.cfg.Clock.After(0, s.trySend)
 	return s
 }
@@ -131,17 +133,15 @@ func (s *Sender) transmit(seq segnum, now time.Duration, isRetx bool) {
 }
 
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-	}
 	if s.InFlight() == 0 {
+		s.rtoTimer.Stop()
 		return
 	}
 	d := s.rto << s.backoff
 	if d > time.Minute {
 		d = time.Minute
 	}
-	s.rtoTimer = s.cfg.Clock.After(d, s.onTimeout)
+	s.rtoTimer = sim.Reschedule(s.cfg.Clock, s.rtoTimer, d, s.timeoutFn)
 }
 
 func (s *Sender) onTimeout() {

@@ -71,7 +71,12 @@ type Receiver struct {
 	feedbackSeq   uint64 // sequence space of the feedback direction
 	ticksSinceFB  int
 	forecastBuf   []float64
+	fcWireBuf     []uint32 // scratch for the outgoing forecast encoding
+	fcParseBuf    []uint32 // scratch for parsing arriving headers
 	feedbackCount int64
+
+	tickTimer sim.Timer
+	tickFn    func() // built once so re-arming does not allocate
 
 	// Counters.
 	packetsReceived int64
@@ -90,8 +95,14 @@ func NewReceiver(cfg ReceiverConfig) *Receiver {
 	if cfg.Clock == nil || cfg.Conn == nil {
 		panic("transport: ReceiverConfig requires Clock and Conn")
 	}
-	r := &Receiver{cfg: cfg, hdrBuf: make([]byte, 0, protocol.HeaderSize)}
-	r.cfg.Clock.After(cfg.Forecaster.TickDuration(), r.tick)
+	r := &Receiver{
+		cfg:        cfg,
+		hdrBuf:     make([]byte, 0, protocol.HeaderSize),
+		fcWireBuf:  make([]uint32, 0, protocol.MaxForecastTicks),
+		fcParseBuf: make([]uint32, 0, protocol.MaxForecastTicks),
+	}
+	r.tickFn = r.tick
+	r.tickTimer = r.cfg.Clock.After(cfg.Forecaster.TickDuration(), r.tickFn)
 	return r
 }
 
@@ -120,7 +131,7 @@ func (r *Receiver) Forecaster() core.Forecaster { return r.cfg.Forecaster }
 // of the forward link.
 func (r *Receiver) Receive(pkt *network.Packet) {
 	var h protocol.Header
-	h.Forecast = make([]uint32, 0, protocol.MaxForecastTicks)
+	h.Forecast = r.fcParseBuf[:0] // scratch; nothing below retains the slice
 	if err := h.Unmarshal(pkt.Payload); err != nil {
 		r.parseErrors++
 		return
@@ -156,8 +167,9 @@ func (r *Receiver) Receive(pkt *network.Packet) {
 }
 
 // tick runs the per-tick inference update (§3.2) and periodic feedback.
+// The tick timer is re-armed in place so the cadence allocates nothing.
 func (r *Receiver) tick() {
-	r.cfg.Clock.After(r.cfg.Forecaster.TickDuration(), r.tick)
+	r.tickTimer = sim.Reschedule(r.cfg.Clock, r.tickTimer, r.cfg.Forecaster.TickDuration(), r.tickFn)
 	now := r.cfg.Clock.Now()
 
 	observed := float64(r.bytesThisTick) / float64(r.cfg.MTU)
@@ -210,14 +222,15 @@ func (r *Receiver) tick() {
 // it is a small dedicated packet.
 func (r *Receiver) sendFeedback(now time.Duration) {
 	r.forecastBuf = r.cfg.Forecaster.Forecast(r.forecastBuf[:0])
-	fc := make([]uint32, len(r.forecastBuf))
-	for i, pkts := range r.forecastBuf {
+	fc := r.fcWireBuf[:0] // scratch; Marshal copies it into the payload
+	for _, pkts := range r.forecastBuf {
 		b := pkts * float64(r.cfg.MTU)
 		if b < 0 {
 			b = 0
 		}
-		fc[i] = uint32(b)
+		fc = append(fc, uint32(b))
 	}
+	r.fcWireBuf = fc[:0]
 	h := protocol.Header{
 		Flags:        protocol.FlagForecast,
 		Flow:         r.cfg.Flow,

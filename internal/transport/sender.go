@@ -87,6 +87,12 @@ type Sender struct {
 	lastSendAt time.Duration
 	pending    *pendingPacket // buffered final packet of the current flight
 	hbTimer    sim.Timer      // one-shot heartbeat, rescheduled on every send
+	tickTimer  sim.Timer      // periodic window re-evaluation, re-armed in place
+
+	// tickFn and hbFn are the timer callbacks, built once in NewSender so
+	// re-arming a timer does not allocate a fresh method value per firing.
+	tickFn func()
+	hbFn   func()
 
 	// Counters.
 	packetsSent   int64
@@ -94,7 +100,8 @@ type Sender struct {
 	feedbacksSeen int64
 	probesSent    int64
 
-	hdrBuf []byte
+	hdrBuf     []byte
+	fcParseBuf []uint32 // scratch for parsing arriving feedback headers
 }
 
 type sentRecord struct {
@@ -114,9 +121,15 @@ func NewSender(cfg SenderConfig) *Sender {
 	if cfg.Clock == nil || cfg.Conn == nil {
 		panic("transport: SenderConfig requires Clock and Conn")
 	}
-	s := &Sender{cfg: cfg, hdrBuf: make([]byte, 0, protocol.HeaderSize)}
-	s.cfg.Clock.After(cfg.Tick, s.tick)
-	s.hbTimer = s.cfg.Clock.After(cfg.HeartbeatInterval, s.heartbeat)
+	s := &Sender{
+		cfg:        cfg,
+		hdrBuf:     make([]byte, 0, protocol.HeaderSize),
+		fcParseBuf: make([]uint32, 0, protocol.MaxForecastTicks),
+	}
+	s.tickFn = s.tick
+	s.hbFn = s.heartbeat
+	s.tickTimer = s.cfg.Clock.After(cfg.Tick, s.tickFn)
+	s.hbTimer = s.cfg.Clock.After(cfg.HeartbeatInterval, s.hbFn)
 	return s
 }
 
@@ -162,7 +175,7 @@ func (s *Sender) ForecastTotal() int64 {
 // attached as the delivery handler of the reverse link.
 func (s *Sender) Receive(pkt *network.Packet) {
 	var h protocol.Header
-	h.Forecast = make([]uint32, 0, protocol.MaxForecastTicks)
+	h.Forecast = s.fcParseBuf[:0] // scratch; copied into s.forecast below
 	if err := h.Unmarshal(pkt.Payload); err != nil {
 		return
 	}
@@ -190,9 +203,10 @@ func (s *Sender) Receive(pkt *network.Packet) {
 }
 
 // tick fires every Tick: advance through the forecast and send what the
-// window allows.
+// window allows. The tick timer is re-armed in place, so the steady-state
+// cadence allocates nothing.
 func (s *Sender) tick() {
-	s.cfg.Clock.After(s.cfg.Tick, s.tick)
+	s.tickTimer = sim.Reschedule(s.cfg.Clock, s.tickTimer, s.cfg.Tick, s.tickFn)
 	s.maybeSend()
 }
 
@@ -206,12 +220,9 @@ func (s *Sender) heartbeat() {
 }
 
 // rescheduleHeartbeat pushes the idle keepalive to HeartbeatInterval after
-// the packet just sent.
+// the packet just sent, re-arming the standing timer in place.
 func (s *Sender) rescheduleHeartbeat() {
-	if s.hbTimer != nil {
-		s.hbTimer.Stop()
-	}
-	s.hbTimer = s.cfg.Clock.After(s.cfg.HeartbeatInterval, s.heartbeat)
+	s.hbTimer = sim.Reschedule(s.cfg.Clock, s.hbTimer, s.cfg.HeartbeatInterval, s.hbFn)
 }
 
 // advanceForecast walks the sender's position in the 8-tick forecast

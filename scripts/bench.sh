@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# bench.sh — run the perf-tracking benchmarks and emit BENCH_<PR>.json.
+#
+# Usage:
+#   scripts/bench.sh              # writes BENCH_3.json in the repo root
+#   scripts/bench.sh out.json     # custom output path
+#   BENCHTIME=200ms scripts/bench.sh   # quick smoke (CI uses this)
+#
+# The JSON records ns/op and allocs/op for the tracked hot paths — the
+# Bayesian filter tick, the cautious forecast, the event loop (fresh-timer
+# and reused-timer patterns) — plus one macro-benchmark that pushes a
+# reduced scheme×link matrix through the parallel engine. The "baseline"
+# block holds the pre-PR-3 numbers those were measured against (recorded
+# on the PR-3 development machine), so the perf trajectory stays auditable
+# across PRs.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_3.json}
+BENCHTIME=${BENCHTIME:-1s}
+MATRIX_BENCHTIME=${MATRIX_BENCHTIME:-1x}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+echo "bench: micro (benchtime $BENCHTIME)..." >&2
+go test -run '^$' -bench 'BenchmarkCoreTick$|BenchmarkCoreForecast$' \
+    -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP" >&2
+go test -run '^$' -bench 'BenchmarkLoopThroughput$|BenchmarkLoopTimerReuse$' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/sim/ | tee -a "$TMP" >&2
+
+echo "bench: macro matrix (benchtime $MATRIX_BENCHTIME)..." >&2
+go test -run '^$' -bench 'BenchmarkMatrixParallel$' \
+    -benchmem -benchtime "$MATRIX_BENCHTIME" . | tee -a "$TMP" >&2
+
+awk -v out="$OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns[name] = $i
+        if ($(i+1) == "allocs/op") allocs[name] = $i
+    }
+    seen[name] = 1
+}
+END {
+    printf "{\n"
+    printf "  \"pr\": 3,\n"
+    printf "  \"description\": \"allocation-free event loop + inference fast paths\",\n"
+    printf "  \"baseline\": {\n"
+    printf "    \"comment\": \"pre-PR-3 numbers at benchtime 2s on the PR-3 dev machine\",\n"
+    printf "    \"BenchmarkCoreTick\": {\"ns_per_op\": 39113, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkCoreForecast\": {\"ns_per_op\": 234525, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkLoopThroughput\": {\"ns_per_op\": 85.90, \"allocs_per_op\": 1}\n"
+    printf "  },\n"
+    printf "  \"results\": {\n"
+    n = 0
+    for (name in seen) order[++n] = name
+    # stable order for diffs (insertion sort; asort is gawk-only)
+    for (i = 2; i <= n; i++) {
+        v = order[i]
+        for (j = i - 1; j >= 1 && order[j] > v; j--) order[j+1] = order[j]
+        order[j+1] = v
+    }
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}%s\n",
+            name, ns[name], (name in allocs) ? allocs[name] : "null",
+            (i < n) ? "," : ""
+    }
+    printf "  }\n"
+    printf "}\n"
+}' "$TMP" > "$OUT"
+
+echo "bench: wrote $OUT" >&2
+cat "$OUT"
