@@ -125,12 +125,12 @@ func loadTraces(downFile, upFile, gen string, genDur time.Duration, seed int64, 
 // links generate at the speed of the slower core count allows.
 func generateTraces(p trace.NetworkPair, genDur time.Duration, seed int64, parallel int) (down, up *trace.Trace, err error) {
 	jobs := []engine.Job{
-		{Name: "downlink " + p.Down.Name, Run: func(context.Context) error {
+		{Name: "downlink " + p.Down.Name, Run: func(context.Context, *engine.WorkerState) error {
 			rng := rand.New(rand.NewSource(engine.DeriveSeed(seed, p.Name, "down")))
 			down = p.Down.Generate(genDur, rng)
 			return nil
 		}},
-		{Name: "uplink " + p.Up.Name, Run: func(context.Context) error {
+		{Name: "uplink " + p.Up.Name, Run: func(context.Context, *engine.WorkerState) error {
 			rng := rand.New(rand.NewSource(engine.DeriveSeed(seed, p.Name, "up")))
 			up = p.Up.Generate(genDur, rng)
 			return nil

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"sprout/internal/engine"
 	"sprout/internal/harness"
 	"sprout/internal/scenario"
 	"sprout/internal/trace"
@@ -40,6 +41,7 @@ func main() {
 	downFile := flag.String("down", "", "run every scheme on this mahimahi trace (data direction) instead of the canonical suite")
 	upFile := flag.String("up", "", "reverse-direction mahimahi trace (with -down)")
 	scenarioFile := flag.String("scenario", "", "run the experiment specs in this JSON scenario file instead of the canonical suite")
+	repeat := flag.Int("repeat", 1, "rerun the selected workload this many times in-process (repeats reuse the engine's pooled per-worker worlds; aggregate stats print at the end)")
 	listSchemes := flag.Bool("list-schemes", false, "list every registered scheme and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -75,85 +77,103 @@ func main() {
 		runListSchemes()
 		return
 	}
-	if *scenarioFile != "" {
-		runScenarioFile(*scenarioFile,
-			harness.Options{Duration: *duration, Skip: *skip, Seed: *seed, Workers: *parallel})
-		return
+	if *repeat < 1 {
+		*repeat = 1
 	}
+	// One engine for every repetition: its per-worker simulation worlds
+	// (event loop arenas, links, packet pools, memoized endpoints)
+	// persist across runs, so repetitions after the first are
+	// allocation-flat — the world-reuse win, observable from the CLI.
+	eng := engine.New(*parallel)
+	opt := harness.Options{Duration: *duration, Skip: *skip, Seed: *seed, Workers: *parallel, Engine: eng}
 
-	if *downFile != "" || *upFile != "" {
-		if *downFile == "" || *upFile == "" {
-			fmt.Fprintln(os.Stderr, "sproutbench: -down and -up must be given together")
+	runOnce := func() {
+		if *scenarioFile != "" {
+			runScenarioFile(*scenarioFile, opt)
+			return
+		}
+		if *downFile != "" || *upFile != "" {
+			if *downFile == "" || *upFile == "" {
+				fmt.Fprintln(os.Stderr, "sproutbench: -down and -up must be given together")
+				fatalExit(2)
+			}
+			runCustomTraces(*downFile, *upFile, opt)
+			return
+		}
+		want := map[string]bool{}
+		for _, name := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		all := want["all"]
+		ran := false
+
+		var matrix *harness.Matrix
+		needMatrix := all || want["table1"] || want["table2"] || want["fig7"] || want["fig8"]
+		if needMatrix {
+			fmt.Fprintf(os.Stderr, "running %d schemes x 8 links (duration %v)...\n",
+				len(harness.Schemes()), *duration)
+			m, err := harness.RunMatrix(opt, nil)
+			check(err)
+			matrix = m
+			fmt.Fprintf(os.Stderr, "matrix: %s; trace pairs: %d generated, %d served from cache\n",
+				m.Stats.Engine, m.Stats.TracesGenerated, m.Stats.TracesReused)
+		}
+
+		if all || want["fig1"] {
+			ran = true
+			runFig1(opt)
+		}
+		if all || want["fig2"] {
+			ran = true
+			runFig2(opt)
+		}
+		if all || want["table1"] {
+			ran = true
+			runTable1(matrix)
+		}
+		if all || want["table2"] {
+			ran = true
+			runTable2(matrix)
+		}
+		if all || want["fig7"] {
+			ran = true
+			runFig7(matrix)
+		}
+		if all || want["fig8"] {
+			ran = true
+			runFig8(matrix)
+		}
+		if all || want["fig9"] {
+			ran = true
+			runFig9(opt)
+		}
+		if all || want["loss"] {
+			ran = true
+			runLoss(opt)
+		}
+		if all || want["tunnel"] {
+			ran = true
+			runTunnel(opt)
+		}
+		if all || want["multi"] {
+			ran = true
+			runMulti(opt)
+		}
+		if !ran {
+			fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *runFlag)
 			fatalExit(2)
 		}
-		runCustomTraces(*downFile, *upFile,
-			harness.Options{Duration: *duration, Skip: *skip, Seed: *seed, Workers: *parallel})
-		return
 	}
 
-	opt := harness.Options{Duration: *duration, Skip: *skip, Seed: *seed, Workers: *parallel}
-	want := map[string]bool{}
-	for _, name := range strings.Split(*runFlag, ",") {
-		want[strings.TrimSpace(name)] = true
+	for rep := 1; rep <= *repeat; rep++ {
+		start := time.Now()
+		runOnce()
+		if *repeat > 1 {
+			fmt.Fprintf(os.Stderr, "repeat %d/%d: %v\n", rep, *repeat, time.Since(start).Round(time.Millisecond))
+		}
 	}
-	all := want["all"]
-	ran := false
-
-	var matrix *harness.Matrix
-	needMatrix := all || want["table1"] || want["table2"] || want["fig7"] || want["fig8"]
-	if needMatrix {
-		fmt.Fprintf(os.Stderr, "running %d schemes x 8 links (duration %v)...\n",
-			len(harness.Schemes()), *duration)
-		m, err := harness.RunMatrix(opt, nil)
-		check(err)
-		matrix = m
-		fmt.Fprintf(os.Stderr, "matrix: %s; trace pairs: %d generated, %d served from cache\n",
-			m.Stats.Engine, m.Stats.TracesGenerated, m.Stats.TracesReused)
-	}
-
-	if all || want["fig1"] {
-		ran = true
-		runFig1(opt)
-	}
-	if all || want["fig2"] {
-		ran = true
-		runFig2(opt)
-	}
-	if all || want["table1"] {
-		ran = true
-		runTable1(matrix)
-	}
-	if all || want["table2"] {
-		ran = true
-		runTable2(matrix)
-	}
-	if all || want["fig7"] {
-		ran = true
-		runFig7(matrix)
-	}
-	if all || want["fig8"] {
-		ran = true
-		runFig8(matrix)
-	}
-	if all || want["fig9"] {
-		ran = true
-		runFig9(opt)
-	}
-	if all || want["loss"] {
-		ran = true
-		runLoss(opt)
-	}
-	if all || want["tunnel"] {
-		ran = true
-		runTunnel(opt)
-	}
-	if all || want["multi"] {
-		ran = true
-		runMulti(opt)
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *runFlag)
-		fatalExit(2)
+	if *repeat > 1 {
+		fmt.Fprintf(os.Stderr, "repeat: %d runs; engine total: %s\n", *repeat, eng.Total())
 	}
 }
 
@@ -211,7 +231,7 @@ func runScenarioFile(path string, opt harness.Options) {
 			specs[i].Seed = opt.Seed
 		}
 	}
-	results, stats, err := scenario.RunAll(context.Background(), specs, opt.Workers)
+	results, stats, err := scenario.RunAllOn(context.Background(), opt.Engine, specs)
 	check(err)
 	fmt.Fprintf(os.Stderr, "scenarios: %s\n", stats)
 

@@ -107,11 +107,11 @@ const (
 	reportSize      = 25 // kind + maxSeq + received + relDelayUS
 )
 
-func marshalMedia(seq int64) []byte {
-	buf := make([]byte, mediaHeaderSize)
+func appendMedia(dst []byte, seq int64) []byte {
+	var buf [mediaHeaderSize]byte
 	buf[0] = kindMedia
 	binary.BigEndian.PutUint64(buf[1:], uint64(seq))
-	return buf
+	return append(dst, buf[:]...)
 }
 
 type report struct {
@@ -120,13 +120,13 @@ type report struct {
 	relDelay time.Duration
 }
 
-func (r report) marshal() []byte {
-	buf := make([]byte, reportSize)
+func (r report) appendTo(dst []byte) []byte {
+	var buf [reportSize]byte
 	buf[0] = kindReport
 	binary.BigEndian.PutUint64(buf[1:], uint64(r.maxSeq))
 	binary.BigEndian.PutUint64(buf[9:], r.received)
 	binary.BigEndian.PutUint64(buf[17:], uint64(r.relDelay))
-	return buf
+	return append(dst, buf[:]...)
 }
 
 func parseReport(b []byte) (report, bool) {
@@ -152,6 +152,7 @@ type Sender struct {
 	clock   sim.Clock
 	conn    Conn
 	flow    uint32
+	pool    *network.Pool
 
 	rate    float64 // current encode rate, bits/s
 	nextSeq int64
@@ -169,13 +170,32 @@ type Sender struct {
 
 // NewSender starts a media sender with the given profile.
 func NewSender(flow uint32, profile Profile, clock sim.Clock, conn Conn) *Sender {
+	s := &Sender{}
+	s.emitFn = s.emit
+	s.Reset(flow, profile, clock, conn)
+	return s
+}
+
+// UsePool directs the sender's media packets to the given arena (world
+// reuse); nil reverts to heap allocation.
+func (s *Sender) UsePool(p *network.Pool) { s.pool = p }
+
+// Reset restores the sender to its freshly constructed state for a new
+// run. Must be called at a world boundary (clock reset); the first pacing
+// event is scheduled exactly as NewSender schedules it.
+func (s *Sender) Reset(flow uint32, profile Profile, clock sim.Clock, conn Conn) {
 	if clock == nil || conn == nil {
 		panic("app: Sender requires clock and conn")
 	}
-	s := &Sender{profile: profile, clock: clock, conn: conn, flow: flow, rate: profile.StartRate}
-	s.emitFn = s.emit
+	s.profile, s.clock, s.conn, s.flow = profile, clock, conn, flow
+	s.rate = profile.StartRate
+	s.nextSeq = 0
+	s.paceTimer.Stop() // no-op after a clock reset (stale handle)
+	s.paceTimer = sim.Timer{}
+	s.congestedStreak = 0
+	s.lastMaxSeq, s.lastReceived = 0, 0
+	s.rateChanges, s.decreases = 0, 0
 	s.scheduleNext()
-	return s
 }
 
 // Rate returns the current encode rate in bits/s.
@@ -191,13 +211,12 @@ func (s *Sender) scheduleNext() {
 
 func (s *Sender) emit() {
 	now := s.clock.Now()
-	pkt := &network.Packet{
-		Flow:    s.flow,
-		Seq:     s.nextSeq,
-		Size:    s.profile.PacketSize,
-		Payload: marshalMedia(s.nextSeq),
-		SentAt:  now,
-	}
+	pkt := s.pool.Get()
+	pkt.Flow = s.flow
+	pkt.Seq = s.nextSeq
+	pkt.Size = s.profile.PacketSize
+	pkt.Payload = appendMedia(pkt.Payload[:0], s.nextSeq)
+	pkt.SentAt = now
 	s.nextSeq++
 	s.conn.Send(pkt)
 	s.scheduleNext()
@@ -250,6 +269,7 @@ type Receiver struct {
 	clock   sim.Clock
 	conn    Conn
 	flow    uint32
+	pool    *network.Pool
 
 	maxSeq    int64
 	received  uint64
@@ -265,13 +285,32 @@ type Receiver struct {
 
 // NewReceiver starts the media receiver; conn carries reports back.
 func NewReceiver(flow uint32, profile Profile, clock sim.Clock, conn Conn) *Receiver {
+	r := &Receiver{}
+	r.reportFn = r.report
+	r.Reset(flow, profile, clock, conn)
+	return r
+}
+
+// UsePool directs the receiver's report packets to the given arena (world
+// reuse); nil reverts to heap allocation.
+func (r *Receiver) UsePool(p *network.Pool) { r.pool = p }
+
+// Reset restores the receiver to its freshly constructed state for a new
+// run. Must be called at a world boundary (clock reset); the report timer
+// is re-armed exactly as NewReceiver arms it.
+func (r *Receiver) Reset(flow uint32, profile Profile, clock sim.Clock, conn Conn) {
 	if clock == nil || conn == nil {
 		panic("app: Receiver requires clock and conn")
 	}
-	r := &Receiver{profile: profile, clock: clock, conn: conn, flow: flow, maxSeq: -1, minDelay: time.Hour}
-	r.reportFn = r.report
+	r.profile, r.clock, r.conn, r.flow = profile, clock, conn, flow
+	r.maxSeq = -1
+	r.received = 0
+	r.minDelay = time.Hour
+	r.maxRelDly = 0
+	r.havePkt = false
+	r.reports = 0
+	r.reportTimer.Stop() // no-op after a clock reset (stale handle)
 	r.reportTimer = clock.After(profile.ReportInterval, r.reportFn)
-	return r
 }
 
 // Received returns the number of media packets received.
@@ -308,11 +347,11 @@ func (r *Receiver) report() {
 	rep := report{maxSeq: r.maxSeq, received: r.received, relDelay: r.maxRelDly}
 	r.maxRelDly = 0
 	r.reports++
-	r.conn.Send(&network.Packet{
-		Flow:    r.flow,
-		Seq:     int64(r.reports),
-		Size:    100, // RTCP-ish report weight
-		Payload: rep.marshal(),
-		SentAt:  r.clock.Now(),
-	})
+	pkt := r.pool.Get()
+	pkt.Flow = r.flow
+	pkt.Seq = int64(r.reports)
+	pkt.Size = 100 // RTCP-ish report weight
+	pkt.Payload = rep.appendTo(pkt.Payload[:0])
+	pkt.SentAt = r.clock.Now()
+	r.conn.Send(pkt)
 }

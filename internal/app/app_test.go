@@ -42,7 +42,7 @@ func newAppSession(p Profile, fwdTrace *trace.Trace) *appSession {
 
 func TestReportRoundTrip(t *testing.T) {
 	r := report{maxSeq: 12345, received: 678, relDelay: 250 * time.Millisecond}
-	got, ok := parseReport(r.marshal())
+	got, ok := parseReport(r.appendTo(nil))
 	if !ok || got != r {
 		t.Errorf("round trip: %+v (ok=%v), want %+v", got, ok, r)
 	}

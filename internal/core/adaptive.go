@@ -29,6 +29,7 @@ type AdaptiveForecaster struct {
 	gain   float64
 	minSig float64
 	maxSig float64
+	sigma0 float64 // construction-time σ, restored by Reset
 
 	adaptations int64
 }
@@ -70,7 +71,21 @@ func NewAdaptiveForecaster(m *Model, cfg AdaptiveConfig) *AdaptiveForecaster {
 		gain:               cfg.Gain,
 		minSig:             cfg.MinSigma,
 		maxSig:             cfg.MaxSigma,
+		sigma0:             m.Sigma(),
 	}
+}
+
+// Reset implements Forecaster: beyond the embedded forecaster's reset it
+// restores the construction-time σ (rebuilding the kernel if adaptation
+// moved it) and clears the innovation statistics.
+func (a *AdaptiveForecaster) Reset() {
+	if a.Model().Sigma() != a.sigma0 {
+		a.Model().SetSigma(a.sigma0)
+	}
+	a.DeliveryForecaster.Reset()
+	a.z2.Reset()
+	a.count = 0
+	a.adaptations = 0
 }
 
 // Sigma returns the current Brownian noise power.

@@ -168,6 +168,11 @@ func (f *DeliveryForecaster) Clone() *DeliveryForecaster {
 // Model returns the underlying Bayesian filter.
 func (f *DeliveryForecaster) Model() *Model { return f.model }
 
+// Reset implements Forecaster: the model returns to its uniform prior; the
+// shared CDF table and the scratch buffers (overwritten by every Forecast)
+// are retained, so reuse allocates nothing.
+func (f *DeliveryForecaster) Reset() { f.model.Reset() }
+
 // Tick implements Forecaster: evolve one tick, then apply the observation
 // in the requested mode.
 func (f *DeliveryForecaster) Tick(observed float64, mode Observation) {
@@ -250,11 +255,14 @@ func (f *DeliveryForecaster) mixtureQuantileFrom(tick int, p float64, lo0 int) i
 // only; bins outside it are exactly zero (and were skipped by the w != 0
 // guard before windowing existed, so the sum is bit-identical).
 func (f *DeliveryForecaster) mixtureCDF(tick, k int) float64 {
-	row := f.tbl.row(tick, k)
-	cur := f.cur
+	lo, hi := f.lo, f.hi
+	// Slice both operands to the support window so the indexed loop runs
+	// bounds-check-free; visit order and arithmetic are unchanged.
+	row := f.tbl.row(tick, k)[lo:hi]
+	cur := f.cur[lo:hi]
 	var s float64
-	for j := f.lo; j < f.hi; j++ {
-		if w := cur[j]; w != 0 {
+	for j, w := range cur {
+		if w != 0 {
 			s += w * row[j]
 		}
 	}
@@ -317,6 +325,9 @@ func (e *EWMAForecaster) Tick(observed float64, mode Observation) {
 
 // Rate returns the current smoothed rate estimate in packets per tick.
 func (e *EWMAForecaster) Rate() float64 { return e.rate }
+
+// Reset implements Forecaster: back to the unprimed zero-rate state.
+func (e *EWMAForecaster) Reset() { e.rate, e.primed = 0, false }
 
 // HorizonTicks implements Forecaster.
 func (e *EWMAForecaster) HorizonTicks() int { return e.horizon }

@@ -194,14 +194,18 @@ func evolveInto(dst, src, kernel []float64, radius int, outageStay float64, lo, 
 		}
 	}
 	// Interior: the kernel fits entirely inside the grid — no folding.
+	// Slicing the row to the kernel's length lets the compiler drop the
+	// per-element bounds check; the visit order (and so every float
+	// result) is unchanged.
 	for ; j < hi && j < n-radius; j++ {
 		pj := src[j]
 		if pj == 0 {
 			continue
 		}
-		row := dst[j-radius : j+radius+1]
-		for t, w := range kernel {
-			row[t] += pj * w
+		row := dst[j-radius : j-radius+len(kernel)]
+		ker := kernel[:len(row)]
+		for t := range row {
+			row[t] += pj * ker[t]
 		}
 	}
 	// High edge: j > n-1-radius folds into the top bin.

@@ -123,4 +123,8 @@ type Forecaster interface {
 	HorizonTicks() int
 	// TickDuration returns τ.
 	TickDuration() time.Duration
+	// Reset restores the forecaster to its freshly constructed state
+	// (the prior, no observations) without freeing retained state, so a
+	// pooled experiment world can reuse one forecaster across runs.
+	Reset()
 }

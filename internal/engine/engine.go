@@ -14,7 +14,12 @@
 //     cannot perturb any job's random stream;
 //   - expensive shared inputs (the canonical traces) are built once in a
 //     single-flight Cache and shared read-only, instead of once per job
-//     or — worse — mutated concurrently.
+//     or — worse — mutated concurrently;
+//   - expensive job-local scratch (a whole pooled simulation world) lives
+//     in per-worker WorkerStates handed to every job, so reuse across
+//     jobs is race-free by construction — one worker, one job at a time —
+//     provided the cached state resets to a seed-determined initial
+//     state at job start.
 package engine
 
 import (
@@ -38,7 +43,47 @@ type Job struct {
 	// Run executes the simulation, storing its result wherever the
 	// closure points (typically an indexed slot owned by this job).
 	// It should return promptly when ctx is cancelled.
-	Run func(ctx context.Context) error
+	//
+	// ws is the worker's retained state: every job a given worker
+	// executes receives the same WorkerState, so expensive scratch (a
+	// pooled simulation world) can be reused across jobs instead of
+	// rebuilt per job. ws is never shared between concurrent jobs; it
+	// may be nil when a job is run outside the engine.
+	Run func(ctx context.Context, ws *WorkerState) error
+}
+
+// WorkerState is per-worker retained context. One worker runs one job at a
+// time, so values stored here are free of data races by construction — but
+// they are reused across jobs, so anything cached must be reset (or be
+// reset-able) at job start. States persist across Run calls on the same
+// Engine, which is what makes back-to-back suite runs (cmd/sproutbench
+// -repeat) reuse their worlds instead of rebuilding them.
+type WorkerState struct {
+	id   int
+	vals map[any]any
+}
+
+// ID returns the worker's index in the pool, in [0, Workers).
+func (ws *WorkerState) ID() int {
+	if ws == nil {
+		return 0
+	}
+	return ws.id
+}
+
+// Value returns the worker-local value for key, building it with mk on
+// first use. On a nil WorkerState it calls mk directly (no caching), so
+// code paths shared with engine-less callers need no branching.
+func (ws *WorkerState) Value(key any, mk func() any) any {
+	if ws == nil {
+		return mk()
+	}
+	if v, ok := ws.vals[key]; ok {
+		return v
+	}
+	v := mk()
+	ws.vals[key] = v
+	return v
 }
 
 // Stats summarizes one Run call.
@@ -61,9 +106,12 @@ func (s Stats) String() string {
 }
 
 // Engine is a deterministic parallel runner. The zero value is not
-// usable; construct with New.
+// usable; construct with New. An Engine is not safe for concurrent Run
+// calls (its worker states are single-owner).
 type Engine struct {
 	workers int
+	states  []*WorkerState // one per worker index, persisted across Runs
+	total   Stats          // cumulative across Runs
 }
 
 // New returns an engine with the given pool size. workers <= 0 selects
@@ -77,6 +125,12 @@ func New(workers int) *Engine {
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// Total returns cumulative stats over every Run call on this engine
+// (Wall is the summed run wall-clock, Workers the largest pool used).
+// Back-to-back suite runs — cmd/sproutbench -repeat — report it so the
+// cross-run world-reuse win is visible from the CLI.
+func (e *Engine) Total() Stats { return e.total }
 
 // Run executes the jobs and blocks until all have finished or been
 // skipped. The first error in job order is returned, wrapped with the
@@ -103,7 +157,11 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) (Stats, error) {
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	for len(e.states) < workers {
+		e.states = append(e.states, &WorkerState{id: len(e.states), vals: map[any]any{}})
+	}
 	for w := 0; w < workers; w++ {
+		ws := e.states[w]
 		go func() {
 			defer wg.Done()
 			for i := range idx {
@@ -111,7 +169,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) (Stats, error) {
 					continue // drain without running
 				}
 				ran[i] = true
-				if err := jobs[i].Run(ctx); err != nil {
+				if err := jobs[i].Run(ctx, ws); err != nil {
 					errs[i] = fmt.Errorf("%s: %w", jobs[i].Name, err)
 					cancel()
 				}
@@ -130,6 +188,12 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) (Stats, error) {
 		}
 	}
 	stats.Wall = time.Since(start)
+	e.total.Jobs += stats.Jobs
+	e.total.Completed += stats.Completed
+	e.total.Wall += stats.Wall
+	if stats.Workers > e.total.Workers {
+		e.total.Workers = stats.Workers
+	}
 	// Report the root cause, not the fallout: a job that honours ctx and
 	// returns context.Canceled after another job's failure triggered the
 	// cancellation must not mask the real error just because it sits
@@ -174,25 +238,42 @@ func DeriveSeed(base int64, parts ...string) int64 {
 }
 
 // Cache memoizes expensive shared inputs across jobs — canonically the
-// generated traces, which every scheme on a link shares. Concurrent Get
-// calls with the same key run gen exactly once (single flight) and all
-// receive the same value; values must therefore be treated as read-only
-// by every job.
+// generated traces, which every scheme on a link shares (by reference:
+// cached values are immutable and one instance serves every job that asks).
+// Concurrent Get calls with the same key run gen exactly once (single
+// flight) and all receive the same value; values must therefore be treated
+// as read-only by every job.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	limit   int // 0 = unbounded
 	hits    int
 	misses  int
 }
 
 type cacheEntry struct {
 	once sync.Once
+	key  string // for diagnostics; set at insertion
 	val  any
 	ok   bool // gen returned normally; false means it panicked
 }
 
-// NewCache returns an empty cache.
+// NewCache returns an empty, unbounded cache.
 func NewCache() *Cache { return &Cache{entries: map[string]*cacheEntry{}} }
+
+// NewCacheLimit returns a cache holding at most limit entries (limit <= 0
+// means unbounded). Like the forecast-table cache in internal/core
+// (tableCacheLimit), the bound stops admission rather than evicting: once
+// full, Gets for new keys run gen directly and retain nothing, so a
+// long-lived cache swept across unbounded key spaces (an arbitrary-spec
+// scenario server) degrades to per-call generation instead of unbounded
+// retained memory. Uncached keys lose the single-flight guarantee —
+// concurrent Gets for the same new key may each run gen.
+func NewCacheLimit(limit int) *Cache {
+	c := NewCache()
+	c.limit = limit
+	return c
+}
 
 // Get returns the cached value for key, running gen to produce it if
 // this is the first request. gen runs outside the cache lock, so slow
@@ -201,13 +282,37 @@ func (c *Cache) Get(key string, gen func() any) any {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
-		e = &cacheEntry{}
-		c.entries[key] = e
 		c.misses++
+		if c.limit > 0 && len(c.entries) >= c.limit {
+			c.mu.Unlock()
+			return gen() // full: serve uncached (see NewCacheLimit)
+		}
+		e = &cacheEntry{key: key}
+		c.entries[key] = e
 	} else {
 		c.hits++
 	}
 	c.mu.Unlock()
+	return c.wait(e, gen)
+}
+
+// GetBytes is Get with the key passed as bytes: the lookup converts in
+// place (no allocation on the hit path), and only a miss materializes the
+// string and falls through to Get, so the admission bookkeeping lives in
+// one place. Hot per-job lookups build their key into a reused buffer and
+// stay allocation-free once the cache is warm.
+func (c *Cache) GetBytes(key []byte, gen func() any) any {
+	c.mu.Lock()
+	if e, ok := c.entries[string(key)]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return c.wait(e, gen)
+	}
+	c.mu.Unlock()
+	return c.Get(string(key), gen)
+}
+
+func (c *Cache) wait(e *cacheEntry, gen func() any) any {
 	e.once.Do(func() {
 		e.val = gen()
 		e.ok = true
@@ -216,13 +321,29 @@ func (c *Cache) Get(key string, gen func() any) any {
 		// gen panicked (in this goroutine the panic is already
 		// propagating; this is for the waiters that were blocked in
 		// once.Do): fail loudly rather than silently handing out nil.
-		panic(fmt.Sprintf("engine: cache generator for key %q panicked", key))
+		panic(fmt.Sprintf("engine: cache generator for key %q panicked", e.key))
 	}
 	return e.val
 }
 
-// Counts reports cache traffic: misses is how many distinct keys were
-// generated, hits how many Gets were served from an existing entry.
+// NoteHit records an externally served hit: a caller that keeps its own
+// worker-local memo of values originally produced by this cache calls it
+// so Counts still reflects every request served without generation.
+func (c *Cache) NoteHit() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+// Counts reports cache traffic: misses is how many Gets had to generate
+// (distinct keys on an unbounded cache; keys refused by the entry bound
+// count on every request, since each one regenerates), hits how many Gets
+// were served from an existing entry. The counts are advisory only:
+// they are read under the cache lock, but a Get that is concurrently past
+// its bookkeeping and still generating is already counted, so Counts taken
+// while jobs are in flight can disagree with the number of values actually
+// handed out. Read it for diagnostics after Run returns, not for
+// synchronization.
 func (c *Cache) Counts() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -18,7 +18,7 @@ func TestRunCollectsByIndex(t *testing.T) {
 		jobs := make([]Job, 100)
 		for i := range jobs {
 			i := i
-			jobs[i] = Job{Name: fmt.Sprint(i), Run: func(context.Context) error {
+			jobs[i] = Job{Name: fmt.Sprint(i), Run: func(context.Context, *WorkerState) error {
 				results[i] = i * i
 				return nil
 			}}
@@ -46,7 +46,7 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		jobs := make([]Job, len(out))
 		for i := range jobs {
 			i := i
-			jobs[i] = Job{Run: func(context.Context) error {
+			jobs[i] = Job{Run: func(context.Context, *WorkerState) error {
 				rng := rand.New(rand.NewSource(DeriveSeed(7, "job", fmt.Sprint(i))))
 				var s float64
 				for k := 0; k < 1000; k++ {
@@ -84,7 +84,7 @@ func TestRunFirstErrorByJobOrder(t *testing.T) {
 	jobs := make([]Job, 8)
 	for i := range jobs {
 		i := i
-		jobs[i] = Job{Name: fmt.Sprint(i), Run: func(context.Context) error {
+		jobs[i] = Job{Name: fmt.Sprint(i), Run: func(context.Context, *WorkerState) error {
 			start.Done()
 			start.Wait()
 			switch i {
@@ -109,7 +109,7 @@ func TestRunErrorCancelsPending(t *testing.T) {
 	jobs := make([]Job, 64)
 	for i := range jobs {
 		i := i
-		jobs[i] = Job{Name: fmt.Sprint(i), Run: func(context.Context) error {
+		jobs[i] = Job{Name: fmt.Sprint(i), Run: func(context.Context, *WorkerState) error {
 			started.Add(1)
 			if i == 0 {
 				return boom
@@ -135,11 +135,11 @@ func TestRunRootCauseNotMaskedByCancellation(t *testing.T) {
 	jobs := []Job{
 		// Job 0 honours cancellation and reports context.Canceled —
 		// earlier in job order than the real failure.
-		{Name: "victim", Run: func(ctx context.Context) error {
+		{Name: "victim", Run: func(ctx context.Context, _ *WorkerState) error {
 			<-ctx.Done()
 			return ctx.Err()
 		}},
-		{Name: "culprit", Run: func(context.Context) error {
+		{Name: "culprit", Run: func(context.Context, *WorkerState) error {
 			time.Sleep(5 * time.Millisecond) // let job 0 start first
 			return boom
 		}},
@@ -154,7 +154,7 @@ func TestRunHonoursContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	ran := false
-	_, err := New(4).Run(ctx, []Job{{Run: func(context.Context) error {
+	_, err := New(4).Run(ctx, []Job{{Run: func(context.Context, *WorkerState) error {
 		ran = true
 		return nil
 	}}})
@@ -257,6 +257,91 @@ func TestCachePanickingGenFailsLoudly(t *testing.T) {
 		}
 	}()
 	c.Get("bad", func() any { return "never runs" })
+}
+
+func TestWorkerStatePersistsAcrossRuns(t *testing.T) {
+	e := New(2)
+	type worldKey struct{}
+	var mu sync.Mutex
+	built := 0
+	runOnce := func() {
+		jobs := make([]Job, 8)
+		for i := range jobs {
+			jobs[i] = Job{Run: func(_ context.Context, ws *WorkerState) error {
+				ws.Value(worldKey{}, func() any {
+					mu.Lock()
+					built++
+					mu.Unlock()
+					return struct{}{}
+				})
+				return nil
+			}}
+		}
+		if _, err := e.Run(context.Background(), jobs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runOnce()
+	runOnce() // same engine: worker states (and their worlds) must survive
+	mu.Lock()
+	defer mu.Unlock()
+	if built > 2 {
+		t.Errorf("built %d worlds across two runs on 2 workers, want at most 2", built)
+	}
+	if built == 0 {
+		t.Error("no world was ever built")
+	}
+}
+
+func TestWorkerStateNilSafe(t *testing.T) {
+	var ws *WorkerState
+	calls := 0
+	mk := func() any { calls++; return calls }
+	if got := ws.Value("k", mk); got != 1 {
+		t.Errorf("nil Value = %v", got)
+	}
+	if got := ws.Value("k", mk); got != 2 {
+		t.Errorf("nil state must not cache, got %v", got)
+	}
+	if ws.ID() != 0 {
+		t.Errorf("nil ID = %d", ws.ID())
+	}
+}
+
+func TestCacheLimitStopsAdmission(t *testing.T) {
+	c := NewCacheLimit(2)
+	gen := func(v int) func() any { return func() any { return v } }
+	if got := c.Get("a", gen(1)); got != 1 {
+		t.Fatalf("a = %v", got)
+	}
+	if got := c.Get("b", gen(2)); got != 2 {
+		t.Fatalf("b = %v", got)
+	}
+	// Full: new keys generate but are not retained.
+	if got := c.Get("c", gen(3)); got != 3 {
+		t.Fatalf("c = %v", got)
+	}
+	if got := c.Get("c", gen(4)); got != 4 {
+		t.Errorf("over-limit key was cached: %v", got)
+	}
+	// Existing keys still hit.
+	if got := c.Get("a", gen(9)); got != 1 {
+		t.Errorf("a regenerated after limit: %v", got)
+	}
+	hits, misses := c.Counts()
+	if hits != 1 || misses != 4 {
+		t.Errorf("counts = %d hits, %d misses; want 1/4", hits, misses)
+	}
+}
+
+func TestCacheGetBytesSharesNamespace(t *testing.T) {
+	c := NewCache()
+	if got := c.GetBytes([]byte("k"), func() any { return "v1" }); got != "v1" {
+		t.Fatalf("GetBytes = %v", got)
+	}
+	if got := c.Get("k", func() any { return "v2" }); got != "v1" {
+		t.Errorf("string and byte keys are separate namespaces: %v", got)
+	}
 }
 
 func TestCacheDistinctKeys(t *testing.T) {

@@ -44,19 +44,21 @@ func TestRunMatrixDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestRunMatrixTraceCache asserts the per-(link,seed) cache: 8 distinct
-// pairs generated no matter how many schemes share them.
+// TestRunMatrixTraceCache asserts the per-(link,seed) cache with zero-copy
+// direction sharing: one immutable pair per network no matter how many
+// schemes and directions share it (the matrix's 24 jobs — 3 schemes × 4
+// networks × 2 directions — generate exactly 4 pairs).
 func TestRunMatrixTraceCache(t *testing.T) {
 	m, err := RunMatrix(Options{Duration: 10 * time.Second, Skip: 2 * time.Second, Seed: 2},
 		[]string{"sprout", "sprout-ewma", "cubic"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Stats.TracesGenerated != 8 {
-		t.Errorf("generated %d trace pairs, want 8", m.Stats.TracesGenerated)
+	if m.Stats.TracesGenerated != 4 {
+		t.Errorf("generated %d trace pairs, want 4 (one per network, shared across directions)", m.Stats.TracesGenerated)
 	}
-	if want := 8 * 2; m.Stats.TracesReused != want {
-		t.Errorf("reused %d, want %d (two extra schemes per link)", m.Stats.TracesReused, want)
+	if want := 24 - 4; m.Stats.TracesReused != want {
+		t.Errorf("reused %d, want %d (every other job served by reference)", m.Stats.TracesReused, want)
 	}
 	if m.Stats.Engine.Completed != 24 {
 		t.Errorf("completed %d jobs, want 24", m.Stats.Engine.Completed)

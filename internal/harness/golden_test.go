@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"sprout/internal/scenario"
 )
 
 // goldenMatrixHash pins the bit-exact result of a reduced matrix run. It was
@@ -45,6 +47,67 @@ func hashCells(m *Matrix, links, schemes []string) string {
 	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
+}
+
+// goldenScenarioHash pins the bit-exact result of a heterogeneous-flows
+// scenario spec (a Cubic bulk flow competing with a Skype call on the same
+// bottleneck), recorded before the experiment-layer world-reuse rework
+// (PR 4). It checks the scenario path — multi-flow dispatch, per-flow
+// metrics, Jain index — which the matrix hash does not reach.
+const goldenScenarioHash = "0530541e1c45c40a49d134f00d0b80bf72691bd2a18a4022c9c9be092e389c78"
+
+// goldenScenarioJSON is the pinned spec, exercised through the JSON
+// scenario format end to end.
+const goldenScenarioJSON = `{
+  "defaults": {"link": "Verizon LTE", "duration": "8s", "skip": "2s", "seed": 7},
+  "scenarios": [
+    {"name": "cubic vs skype", "groups": [
+      {"scheme": "cubic", "count": 1},
+      {"scheme": "skype", "count": 1}
+    ]}
+  ]
+}`
+
+// hashScenarioResults serializes every numeric outcome of the scenario runs
+// bit-exactly (Float64bits / integer nanoseconds, not decimal formatting).
+func hashScenarioResults(results []scenario.Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s|%016x|%d|%d|%016x|%d|%016x\n",
+			r.Spec.Label(),
+			math.Float64bits(r.Metrics.ThroughputBps),
+			r.Metrics.Delay95,
+			r.Metrics.MeanDelay,
+			math.Float64bits(r.Metrics.Utilization),
+			r.Delay95,
+			math.Float64bits(r.JainIndex))
+		for _, f := range r.Flows {
+			fmt.Fprintf(&b, "  flow %d %s|%016x|%d\n",
+				f.Flow, f.Scheme, math.Float64bits(f.ThroughputBps), f.Delay95)
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestScenarioGoldenHash asserts that a JSON scenario spec with
+// heterogeneous flow groups produces byte-identical results to the recorded
+// baseline, at both serial and parallel worker counts.
+func TestScenarioGoldenHash(t *testing.T) {
+	specs, err := scenario.Parse(strings.NewReader(goldenScenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		results, _, err := scenario.RunAll(t.Context(), specs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := hashScenarioResults(results); got != goldenScenarioHash {
+			t.Errorf("workers=%d: scenario hash = %s, want %s (outputs are not byte-identical to the recorded baseline)",
+				workers, got, goldenScenarioHash)
+		}
+	}
 }
 
 // TestMatrixGoldenHash asserts that the matrix outputs on two canonical

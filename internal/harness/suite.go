@@ -26,6 +26,12 @@ type Options struct {
 	// self-contained simulation with job-local randomness, so results
 	// are identical at any setting.
 	Workers int
+	// Engine, if non-nil, executes the runs instead of a fresh
+	// engine.New(Workers) per call. A persistent engine keeps its
+	// per-worker simulation worlds across calls (cmd/sproutbench
+	// -repeat), so repeated suites run allocation-flat. Results are
+	// identical either way.
+	Engine *engine.Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -55,7 +61,11 @@ func (o Options) baseSpec() scenario.Spec {
 // worker pool. traces may be nil for a private cache.
 func runSpecs(opt Options, specs []scenario.Spec, traces *engine.Cache) ([]scenario.Result, engine.Stats, error) {
 	jobs, results, _ := scenario.CompileJobs(specs, traces)
-	st, err := engine.New(opt.Workers).Run(context.Background(), jobs)
+	eng := opt.Engine
+	if eng == nil {
+		eng = engine.New(opt.Workers)
+	}
+	st, err := eng.Run(context.Background(), jobs)
 	if err != nil {
 		return nil, st, err
 	}
@@ -104,9 +114,9 @@ type Matrix struct {
 
 // RunMatrix executes every scheme over every canonical link (8 links ×
 // len(schemes) runs) through the parallel engine. Each scheme sees
-// identical trace pairs: the pair for each link is generated once in a
-// shared cache, not once per scheme. Results are independent of
-// opt.Workers.
+// identical trace pairs: one immutable pair per network is generated in a
+// shared cache and handed to every scheme and both directions by
+// reference, never copied per job. Results are independent of opt.Workers.
 func RunMatrix(opt Options, schemes []string) (*Matrix, error) {
 	opt = opt.withDefaults()
 	if len(schemes) == 0 {

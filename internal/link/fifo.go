@@ -43,3 +43,10 @@ func (f *FIFO) Pop() *network.Packet {
 	f.bytes -= p.Size
 	return p
 }
+
+// Reset empties the queue, dropping all packet references while keeping the
+// ring storage for reuse.
+func (f *FIFO) Reset() {
+	f.q.reset()
+	f.bytes = 0
+}

@@ -94,7 +94,8 @@ type Link struct {
 	// Telemetry.
 	deliveries []Delivery
 	recordLog  bool
-	delivered  int64 // bytes
+	onDelivery func(Delivery) // streaming observer; see OnDelivery
+	delivered  int64          // bytes
 	dropsLoss  int64 // packets dropped by random loss
 	dropsQueue int64 // packets dropped by the queue bound
 	dropsAQM   int64 // packets dropped by the AQM
@@ -111,6 +112,22 @@ type Link struct {
 // with the delivered packet. The clock may be a virtual-time sim.Loop or
 // the wall-clock adapter in internal/realtime.
 func New(clock sim.Clock, cfg Config, deliver network.Handler) *Link {
+	l := &Link{clock: clock}
+	l.seqr, _ = clock.(sim.Sequencer)
+	l.arriveFn = l.arrive
+	l.opFn = l.opportunity
+	l.Reset(cfg, deliver)
+	return l
+}
+
+// Reset re-arms the link for a fresh run on the same clock: the new config
+// and delivery handler replace the old, every queue, counter and log is
+// cleared, and the delivery schedule restarts from the trace's first
+// opportunity — all without freeing the retained rings and log capacity.
+// It must be called at a world boundary, after the clock itself has been
+// reset (or while no link event is pending): a reset link then behaves
+// byte-identically to one freshly built with New.
+func (l *Link) Reset(cfg Config, deliver network.Handler) {
 	if cfg.Trace == nil || cfg.Trace.Count() == 0 {
 		panic("link: config requires a non-empty trace")
 	}
@@ -121,19 +138,40 @@ func New(clock sim.Clock, cfg Config, deliver network.Handler) *Link {
 	if deq == nil {
 		deq = DropTail{}
 	}
-	l := &Link{cfg: cfg, clock: clock, deq: deq, deliver: deliver}
-	l.seqr, _ = clock.(sim.Sequencer)
-	l.arriveFn = l.arrive
-	l.opFn = l.opportunity
+	l.cfg, l.deq, l.deliver = cfg, deq, deliver
+	l.nextOp, l.wrapBase = 0, 0
+	l.queue.Reset()
+	l.arrivals.reset()
+	l.deliveries = l.deliveries[:0]
+	l.recordLog, l.onDelivery = false, nil
+	l.delivered, l.dropsLoss, l.dropsQueue, l.dropsAQM, l.wasted = 0, 0, 0, 0, 0
+	l.txPkt, l.txSent = nil, 0
+	l.opTimer = sim.Timer{} // any old handle is stale on the reset clock
 	l.scheduleNextOpportunity()
-	return l
 }
 
-// RecordDeliveries turns on the per-packet delivery log (used by metrics).
+// RecordDeliveries turns on the per-packet delivery log (used by the
+// timeseries experiments that need the raw log after the run).
 func (l *Link) RecordDeliveries(on bool) { l.recordLog = on }
+
+// OnDelivery registers fn to observe each Delivery record at the instant
+// the packet fully crosses the link (before the delivery handler runs, the
+// same point the log would record it). Streaming metrics accumulate through
+// this hook instead of retaining an ever-growing log. nil removes the
+// observer.
+func (l *Link) OnDelivery(fn func(Delivery)) { l.onDelivery = fn }
 
 // Deliveries returns the recorded delivery log.
 func (l *Link) Deliveries() []Delivery { return l.deliveries }
+
+// TakeDeliveries returns the recorded delivery log and transfers ownership
+// to the caller: the link forgets the slice, so a later Reset cannot
+// overwrite a log the caller has kept.
+func (l *Link) TakeDeliveries() []Delivery {
+	d := l.deliveries
+	l.deliveries = nil
+	return d
+}
 
 // DeliveredBytes returns the total bytes delivered so far.
 func (l *Link) DeliveredBytes() int64 { return l.delivered }
@@ -264,14 +302,20 @@ func (l *Link) opportunity() {
 		l.txPkt, l.txSent = nil, 0
 		l.delivered += int64(pkt.Size)
 		progress = true
-		if l.recordLog {
-			l.deliveries = append(l.deliveries, Delivery{
+		if l.recordLog || l.onDelivery != nil {
+			d := Delivery{
 				SentAt:      pkt.SentAt,
 				DeliveredAt: now,
 				Size:        pkt.Size,
 				Seq:         pkt.Seq,
 				Flow:        pkt.Flow,
-			})
+			}
+			if l.recordLog {
+				l.deliveries = append(l.deliveries, d)
+			}
+			if l.onDelivery != nil {
+				l.onDelivery(d)
+			}
 		}
 		if l.deliver != nil {
 			l.deliver(pkt)

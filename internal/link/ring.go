@@ -33,6 +33,16 @@ func (r *ring[T]) pop() T {
 	return v
 }
 
+// reset empties the ring, zeroing the live region so no references are
+// retained, while keeping the buffer for reuse.
+func (r *ring[T]) reset() {
+	var zero T
+	for i := r.head; i != r.tail; i++ {
+		r.buf[i&uint64(len(r.buf)-1)] = zero
+	}
+	r.head, r.tail = 0, 0
+}
+
 // grow doubles the ring, unwrapping the live region into the new storage.
 func (r *ring[T]) grow() {
 	n := len(r.buf) * 2

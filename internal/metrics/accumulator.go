@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"time"
+
+	"sprout/internal/link"
+	"sprout/internal/stats"
+	"sprout/internal/trace"
+)
+
+// flowStream accumulates one delivery stream's metrics online: the bit and
+// byte totals over the window plus the d(t) sawtooth segments, built with
+// exactly the arithmetic delaySegments applies to a retained log, so the
+// finished metrics are bit-identical to the post-hoc slice path.
+type flowStream struct {
+	bits  int64
+	bytes int64
+
+	// Online sawtooth state (see delaySegments): maxSent is the newest
+	// SentAt delivered so far (-1 until any delivery), cursor the time the
+	// current segment started.
+	maxSent time.Duration
+	cursor  time.Duration
+	segs    []stats.Segment
+}
+
+func (f *flowStream) reset(from time.Duration) {
+	f.bits, f.bytes = 0, 0
+	f.maxSent = -1
+	f.cursor = from
+	f.segs = f.segs[:0]
+}
+
+// observe folds one delivery into the stream. Deliveries must arrive in
+// DeliveredAt order, the order links produce them.
+func (f *flowStream) observe(d link.Delivery, from, to time.Duration) {
+	if d.DeliveredAt < from {
+		// Before the window: only establishes the newest-sent packet so
+		// d(from) is well defined.
+		if d.SentAt > f.maxSent {
+			f.maxSent = d.SentAt
+		}
+		return
+	}
+	if d.DeliveredAt >= to {
+		return
+	}
+	f.bits += int64(d.Size) * 8
+	f.bytes += int64(d.Size)
+	if f.maxSent < 0 {
+		// Nothing delivered before this: the stream starts here, no
+		// segment for the undefined region.
+		f.cursor = d.DeliveredAt
+	} else if d.DeliveredAt > f.cursor {
+		f.segs = append(f.segs, stats.Segment{
+			Start: (f.cursor - f.maxSent).Seconds(),
+			Width: (d.DeliveredAt - f.cursor).Seconds(),
+		})
+	}
+	if d.SentAt > f.maxSent {
+		f.maxSent = d.SentAt
+	}
+	f.cursor = d.DeliveredAt
+}
+
+// finish appends the tail segment up to the window end. Must be called
+// exactly once, after the last observe.
+func (f *flowStream) finish(to time.Duration) {
+	if f.maxSent >= 0 && to > f.cursor {
+		f.segs = append(f.segs, stats.Segment{
+			Start: (f.cursor - f.maxSent).Seconds(),
+			Width: (to - f.cursor).Seconds(),
+		})
+	}
+}
+
+func (f *flowStream) throughputBps(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	return float64(f.bits) / (to - from).Seconds()
+}
+
+func (f *flowStream) delay(p float64) time.Duration {
+	if len(f.segs) == 0 {
+		return 0
+	}
+	return secondsToDuration(stats.SegmentPercentile(f.segs, p))
+}
+
+func (f *flowStream) meanDelay() time.Duration {
+	if len(f.segs) == 0 {
+		return 0
+	}
+	return secondsToDuration(stats.SegmentMean(f.segs))
+}
+
+// Accumulator builds the §5.1 metrics incrementally as packets are
+// delivered, in place of retaining an unbounded []link.Delivery and
+// reducing it after the run. It produces bit-identical results to
+// Evaluate/Throughput/EndToEndDelay on the equivalent log (Evaluate is now
+// a thin adapter over it), while a steady-state experiment run holds only
+// the O(deliveries-per-gap) segment list and a handful of counters.
+//
+// All buffers are retained across Start calls, so a reused accumulator
+// (engine worker-state reuse) runs whole experiments with zero steady-state
+// allocation. Not safe for concurrent use.
+type Accumulator struct {
+	from, to time.Duration
+
+	agg     flowStream // every delivery, the aggregate d(t)
+	flowIDs []uint32   // tracked flows, in caller order
+	flows   []flowStream
+	index   map[uint32]int32
+	perFlow bool
+
+	omniSegs []stats.Segment // scratch for the omniscient bound
+	finished bool
+}
+
+// Start arms the accumulator for one run over [from, to), clearing per-run
+// state while keeping capacity. flows lists the flow ids to track
+// individually, in result order; with zero or one tracked flow the
+// aggregate stream doubles as that flow's stream (the single-flow fast
+// path, matching the historical behaviour of evaluating the whole log for
+// a lone flow).
+func (a *Accumulator) Start(from, to time.Duration, flows []uint32) {
+	a.from, a.to = from, to
+	a.agg.reset(from)
+	a.finished = false
+	a.flowIDs = append(a.flowIDs[:0], flows...)
+	a.perFlow = len(flows) > 1
+	if !a.perFlow {
+		a.flows = a.flows[:0]
+		return
+	}
+	if cap(a.flows) < len(flows) {
+		a.flows = make([]flowStream, len(flows))
+	}
+	a.flows = a.flows[:len(flows)]
+	if a.index == nil {
+		a.index = make(map[uint32]int32, len(flows))
+	}
+	clear(a.index)
+	for i, f := range flows {
+		a.flows[i].reset(from)
+		a.index[f] = int32(i)
+	}
+}
+
+// Observe folds one delivery in. Deliveries must arrive in DeliveredAt
+// order (the order links and the tunnel egress produce them). Zero
+// allocations in steady state.
+func (a *Accumulator) Observe(d link.Delivery) {
+	a.agg.observe(d, a.from, a.to)
+	if a.perFlow {
+		if i, ok := a.index[d.Flow]; ok {
+			a.flows[i].observe(d, a.from, a.to)
+		}
+	}
+}
+
+// seal closes every stream's tail segment (idempotent).
+func (a *Accumulator) seal() {
+	if a.finished {
+		return
+	}
+	a.finished = true
+	a.agg.finish(a.to)
+	for i := range a.flows {
+		a.flows[i].finish(a.to)
+	}
+}
+
+// Evaluate returns the full §5.1 metric set against the trace that drove
+// the link, exactly as the package-level Evaluate computes it from a log.
+func (a *Accumulator) Evaluate(tr *trace.Trace, prop time.Duration) Result {
+	a.seal()
+	r := Result{
+		ThroughputBps: a.agg.throughputBps(a.from, a.to),
+		Delay95:       a.agg.delay(0.95),
+		MeanDelay:     a.agg.meanDelay(),
+	}
+	a.omniSegs = omniscientSegments(tr, prop, a.from, a.to, a.omniSegs[:0])
+	if len(a.omniSegs) == 0 {
+		r.Omniscient95 = prop
+	} else {
+		r.Omniscient95 = secondsToDuration(stats.SegmentPercentile(a.omniSegs, 0.95))
+	}
+	r.SelfInflicted95 = r.Delay95 - r.Omniscient95
+	if r.SelfInflicted95 < 0 {
+		r.SelfInflicted95 = 0
+	}
+	capBits := tr.CapacityBits(a.from, a.to)
+	if capBits > 0 {
+		r.Utilization = r.ThroughputBps * (a.to - a.from).Seconds() / float64(capBits)
+	}
+	r.DeliveredBytes = a.agg.bytes
+	return r
+}
+
+// Delay95 returns the aggregate 95% end-to-end delay over all deliveries.
+func (a *Accumulator) Delay95() time.Duration {
+	a.seal()
+	return a.agg.delay(0.95)
+}
+
+// FlowCount returns how many flows Start was asked to track.
+func (a *Accumulator) FlowCount() int { return len(a.flowIDs) }
+
+// Flow returns the i'th tracked flow's id, delivered throughput and 95%
+// end-to-end delay, in the order Start listed them. With a single tracked
+// flow these are the aggregate stream's values (its log is the whole log).
+func (a *Accumulator) Flow(i int) (flow uint32, throughputBps float64, delay95 time.Duration) {
+	a.seal()
+	s := &a.agg
+	if a.perFlow {
+		s = &a.flows[i]
+	}
+	return a.flowIDs[i], s.throughputBps(a.from, a.to), s.delay(0.95)
+}

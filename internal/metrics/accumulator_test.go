@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sprout/internal/link"
+	"sprout/internal/trace"
+)
+
+// randomLog builds a random delivery log in DeliveredAt order, with
+// interleaved flows and deliveries straddling the metric window.
+func randomLog(rng *rand.Rand, n int, flows []uint32) []link.Delivery {
+	log := make([]link.Delivery, 0, n)
+	at := time.Duration(0)
+	for i := 0; i < n; i++ {
+		at += time.Duration(rng.Intn(40)) * time.Millisecond
+		sent := at - time.Duration(20+rng.Intn(500))*time.Millisecond
+		if sent < 0 {
+			sent = 0
+		}
+		log = append(log, link.Delivery{
+			SentAt:      sent,
+			DeliveredAt: at,
+			Size:        100 + rng.Intn(1400),
+			Flow:        flows[rng.Intn(len(flows))],
+		})
+	}
+	return log
+}
+
+func testTrace() *trace.Trace {
+	tr := &trace.Trace{Name: "acc-test"}
+	for at := time.Duration(0); at < 10*time.Second; at += 7 * time.Millisecond {
+		tr.Opportunities = append(tr.Opportunities, at)
+	}
+	return tr
+}
+
+// TestAccumulatorMatchesSlicePath asserts the streaming accumulator is
+// bit-identical to the retained-log primitives, per flow and in aggregate,
+// across random logs and windows.
+func TestAccumulatorMatchesSlicePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := testTrace()
+	flows := []uint32{1, 2, 7}
+	var a Accumulator
+	for trial := 0; trial < 50; trial++ {
+		log := randomLog(rng, 30+rng.Intn(400), flows)
+		from := time.Duration(rng.Intn(2000)) * time.Millisecond
+		to := from + time.Duration(1+rng.Intn(8000))*time.Millisecond
+		prop := 20 * time.Millisecond
+
+		a.Start(from, to, flows)
+		for _, d := range log {
+			a.Observe(d)
+		}
+		got := a.Evaluate(tr, prop)
+		want := func() Result {
+			var b Accumulator
+			b.Start(from, to, nil)
+			for _, d := range log {
+				b.Observe(d)
+			}
+			return b.Evaluate(tr, prop)
+		}()
+		if got != want {
+			t.Fatalf("trial %d: per-flow accumulator aggregate %+v != plain %+v", trial, got, want)
+		}
+		// Against the slice primitives.
+		if tput := Throughput(log, from, to); got.ThroughputBps != tput {
+			t.Fatalf("trial %d: throughput %v != slice %v", trial, got.ThroughputBps, tput)
+		}
+		if d95 := EndToEndDelay(log, from, to, 0.95); got.Delay95 != d95 {
+			t.Fatalf("trial %d: delay95 %v != slice %v", trial, got.Delay95, d95)
+		}
+		if md := MeanDelay(log, from, to); got.MeanDelay != md {
+			t.Fatalf("trial %d: mean delay %v != slice %v", trial, got.MeanDelay, md)
+		}
+		if om := OmniscientDelay(tr, prop, from, to, 0.95); got.Omniscient95 != om {
+			t.Fatalf("trial %d: omniscient %v != slice %v", trial, got.Omniscient95, om)
+		}
+		if agg := a.Delay95(); agg != got.Delay95 {
+			t.Fatalf("trial %d: Delay95 accessor %v != %v", trial, agg, got.Delay95)
+		}
+		for i := range flows {
+			flow, tput, d95 := a.Flow(i)
+			sub := FilterFlow(log, flow)
+			if wt := Throughput(sub, from, to); tput != wt {
+				t.Fatalf("trial %d flow %d: throughput %v != filtered %v", trial, flow, tput, wt)
+			}
+			if wd := EndToEndDelay(sub, from, to, 0.95); d95 != wd {
+				t.Fatalf("trial %d flow %d: delay95 %v != filtered %v", trial, flow, d95, wd)
+			}
+		}
+	}
+}
+
+// TestAccumulatorSingleFlowUsesAggregate pins the historical single-flow
+// fast path: with one tracked flow, the flow's metrics are the aggregate
+// stream's (the whole log is that flow's log).
+func TestAccumulatorSingleFlowUsesAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	log := randomLog(rng, 200, []uint32{3})
+	var a Accumulator
+	a.Start(time.Second, 5*time.Second, []uint32{3})
+	for _, d := range log {
+		a.Observe(d)
+	}
+	flow, tput, d95 := a.Flow(0)
+	if flow != 3 {
+		t.Fatalf("flow id = %d", flow)
+	}
+	if want := Throughput(log, time.Second, 5*time.Second); tput != want {
+		t.Errorf("throughput %v != %v", tput, want)
+	}
+	if want := EndToEndDelay(log, time.Second, 5*time.Second, 0.95); d95 != want {
+		t.Errorf("delay95 %v != %v", d95, want)
+	}
+}
+
+// TestAccumulatorObserveAllocs asserts steady-state Observe is
+// allocation-free once the accumulator's buffers have warmed up (the
+// world-reuse contract: a reused accumulator adds nothing to the per-packet
+// cost).
+func TestAccumulatorObserveAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	flows := []uint32{1, 2}
+	log := randomLog(rng, 2000, flows)
+	var a Accumulator
+	warm := func() {
+		a.Start(0, 10*time.Second, flows)
+		for _, d := range log {
+			a.Observe(d)
+		}
+		a.Delay95()
+	}
+	warm() // grow segment buffers once
+	if avg := testing.AllocsPerRun(20, warm); avg > 0 {
+		t.Errorf("warmed accumulator run allocates %.1f times, want 0", avg)
+	}
+}

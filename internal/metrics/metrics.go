@@ -116,9 +116,18 @@ func MeanDelay(deliveries []link.Delivery, from, to time.Duration) time.Duration
 // delay, so d(t) resets to prop at each opportunity and grows at 1 s/s
 // through delivery gaps (outages still cost delay; §5.1).
 func OmniscientDelay(tr *trace.Trace, prop, from, to time.Duration, p float64) time.Duration {
+	segs := omniscientSegments(tr, prop, from, to, nil)
+	if len(segs) == 0 {
+		return prop
+	}
+	return secondsToDuration(stats.SegmentPercentile(segs, p))
+}
+
+// omniscientSegments builds the omniscient protocol's d(t) segments over
+// [from, to), appending to segs (pass a reused buffer to avoid allocation).
+func omniscientSegments(tr *trace.Trace, prop, from, to time.Duration, segs []stats.Segment) []stats.Segment {
 	ops := tr.Opportunities
 	lo := sort.Search(len(ops), func(i int) bool { return ops[i] >= from })
-	var segs []stats.Segment
 	cursor := from
 	haveBase := lo > 0 // an opportunity before the window anchors d(from)
 	base := time.Duration(0)
@@ -142,10 +151,7 @@ func OmniscientDelay(tr *trace.Trace, prop, from, to time.Duration, p float64) t
 			Width: (to - cursor).Seconds(),
 		})
 	}
-	if len(segs) == 0 {
-		return prop
-	}
-	return secondsToDuration(stats.SegmentPercentile(segs, p))
+	return segs
 }
 
 // Result aggregates the paper's metrics for one experiment run.
@@ -169,28 +175,17 @@ type Result struct {
 }
 
 // Evaluate computes the full metric set for a delivery log over [from, to)
-// against the trace that drove the link.
+// against the trace that drove the link. The log must be in DeliveredAt
+// order (links record it that way). It is a thin adapter over Accumulator,
+// which experiments now feed online instead of retaining the log; the two
+// paths are the same code and produce bit-identical results.
 func Evaluate(deliveries []link.Delivery, tr *trace.Trace, prop, from, to time.Duration) Result {
-	r := Result{
-		ThroughputBps: Throughput(deliveries, from, to),
-		Delay95:       EndToEndDelay(deliveries, from, to, 0.95),
-		Omniscient95:  OmniscientDelay(tr, prop, from, to, 0.95),
-		MeanDelay:     MeanDelay(deliveries, from, to),
-	}
-	r.SelfInflicted95 = r.Delay95 - r.Omniscient95
-	if r.SelfInflicted95 < 0 {
-		r.SelfInflicted95 = 0
-	}
-	capBits := tr.CapacityBits(from, to)
-	if capBits > 0 {
-		r.Utilization = r.ThroughputBps * (to - from).Seconds() / float64(capBits)
-	}
+	var a Accumulator
+	a.Start(from, to, nil)
 	for _, d := range deliveries {
-		if d.DeliveredAt >= from && d.DeliveredAt < to {
-			r.DeliveredBytes += int64(d.Size)
-		}
+		a.Observe(d)
 	}
-	return r
+	return a.Evaluate(tr, prop)
 }
 
 // FilterFlow returns only the deliveries belonging to the given flow,

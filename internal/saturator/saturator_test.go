@@ -12,7 +12,7 @@ import (
 )
 
 func TestWireRoundTrip(t *testing.T) {
-	buf := marshal(kindProbe, 42, 7)
+	buf := appendMarshal(nil, kindProbe, 42, 7)
 	kind, seq, echo, ok := unmarshal(buf)
 	if !ok || kind != kindProbe || seq != 42 || echo != 7 {
 		t.Errorf("round trip: %v %v %v %v", kind, seq, echo, ok)
@@ -147,10 +147,10 @@ func TestReceiverTraceRebased(t *testing.T) {
 	var echoes []*network.Packet
 	rcv := NewReceiver(1, loop, connFunc(func(p *network.Packet) { echoes = append(echoes, p) }))
 	loop.After(100*time.Millisecond, func() {
-		rcv.Receive(&network.Packet{Payload: marshal(kindProbe, 0, 0)})
+		rcv.Receive(&network.Packet{Payload: appendMarshal(nil, kindProbe, 0, 0)})
 	})
 	loop.After(150*time.Millisecond, func() {
-		rcv.Receive(&network.Packet{Payload: marshal(kindProbe, 1, 0)})
+		rcv.Receive(&network.Packet{Payload: appendMarshal(nil, kindProbe, 1, 0)})
 	})
 	loop.Run(time.Second)
 	tr := rcv.Trace("t")
@@ -165,3 +165,55 @@ func TestReceiverTraceRebased(t *testing.T) {
 type connFunc func(*network.Packet)
 
 func (f connFunc) Send(p *network.Packet) { f(p) }
+
+// TestResetReplaysFreshRun pins the world-reuse contract for the
+// saturator: after resetting the clock, links and both endpoints (with a
+// shared packet pool), a rerun records exactly the trace a fresh session
+// records.
+func TestResetReplaysFreshRun(t *testing.T) {
+	m, _ := trace.CanonicalLink("TMobile-3G-down")
+	dur := 20 * time.Second
+	ground := m.Generate(dur+5*time.Second, rand.New(rand.NewSource(2)))
+	fbModel := trace.LinkModel{Name: "fb", MeanRate: 2000, Sigma: 1, Reversion: 1, MaxRate: 3000}
+	fbTrace := fbModel.Generate(dur+5*time.Second, rand.New(rand.NewSource(99)))
+
+	loop := sim.New()
+	var pool network.Pool
+	var rcv *Receiver
+	var snd *Sender
+	fwd := link.New(loop, link.Config{
+		Trace: ground, PropagationDelay: 20 * time.Millisecond,
+	}, func(p *network.Packet) { rcv.Receive(p) })
+	fb := link.New(loop, link.Config{
+		Trace: fbTrace, PropagationDelay: 10 * time.Millisecond,
+	}, func(p *network.Packet) { snd.Receive(p) })
+	rcv = NewReceiver(1, loop, fb)
+	rcv.UsePool(&pool)
+	snd = NewSender(SenderConfig{Clock: loop, Conn: fwd, Flow: 1, Pool: &pool})
+	loop.Run(dur)
+	fresh := rcv.Trace("fresh")
+
+	// World boundary: reset everything in construction order, rerun.
+	loop.Reset()
+	pool.Reset()
+	fwd.Reset(link.Config{Trace: ground, PropagationDelay: 20 * time.Millisecond},
+		func(p *network.Packet) { rcv.Receive(p) })
+	fb.Reset(link.Config{Trace: fbTrace, PropagationDelay: 10 * time.Millisecond},
+		func(p *network.Packet) { snd.Receive(p) })
+	rcv.Reset(1, loop, fb)
+	snd.Reset(SenderConfig{Clock: loop, Conn: fwd, Flow: 1, Pool: &pool})
+	loop.Run(dur)
+	reused := rcv.Trace("reused")
+
+	if fresh.Count() == 0 {
+		t.Fatal("fresh run recorded nothing")
+	}
+	if fresh.Count() != reused.Count() {
+		t.Fatalf("reused run recorded %d arrivals, fresh %d", reused.Count(), fresh.Count())
+	}
+	for i, at := range fresh.Opportunities {
+		if reused.Opportunities[i] != at {
+			t.Fatalf("arrival %d: reused %v != fresh %v", i, reused.Opportunities[i], at)
+		}
+	}
+}

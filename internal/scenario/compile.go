@@ -10,6 +10,11 @@ import (
 // CompileJobs turns specs into engine jobs that write into the returned
 // result slice by index, so assembled output never depends on scheduling
 // order. traces may be shared across calls; nil allocates a private cache.
+//
+// Specs are normalized here, at compile time, so the job bodies do only
+// simulation work; each job runs on its worker's pooled world (see
+// world.go), reusing the event loop, links, packet arena and endpoints of
+// the previous job on that worker.
 func CompileJobs(specs []Spec, traces *engine.Cache) ([]engine.Job, []Result, *engine.Cache) {
 	if traces == nil {
 		traces = engine.NewCache()
@@ -17,11 +22,20 @@ func CompileJobs(specs []Spec, traces *engine.Cache) ([]engine.Job, []Result, *e
 	results := make([]Result, len(specs))
 	jobs := make([]engine.Job, len(specs))
 	for i, spec := range specs {
-		i, spec := i, spec
+		i := i
+		name := spec.Label()
+		norm, err := spec.Normalize()
+		if err != nil {
+			err := err
+			jobs[i] = engine.Job{Name: name, Run: func(context.Context, *engine.WorkerState) error {
+				return err
+			}}
+			continue
+		}
 		jobs[i] = engine.Job{
-			Name: spec.Label(),
-			Run: func(context.Context) error {
-				res, err := Run(spec, traces)
+			Name: name,
+			Run: func(_ context.Context, ws *engine.WorkerState) error {
+				res, err := runNormalized(norm, traces, worldFor(ws))
 				if err != nil {
 					return err
 				}
@@ -36,8 +50,16 @@ func CompileJobs(specs []Spec, traces *engine.Cache) ([]engine.Job, []Result, *e
 // RunAll executes the specs through the parallel engine. workers <= 0 uses
 // every core; results are identical at any worker count.
 func RunAll(ctx context.Context, specs []Spec, workers int) ([]Result, engine.Stats, error) {
+	return RunAllOn(ctx, engine.New(workers), specs)
+}
+
+// RunAllOn is RunAll on a caller-supplied engine: a persistent engine
+// keeps its per-worker simulation worlds across calls (cmd/sproutbench
+// -repeat), so repeated sweeps run allocation-flat. Results are identical
+// to RunAll's.
+func RunAllOn(ctx context.Context, eng *engine.Engine, specs []Spec) ([]Result, engine.Stats, error) {
 	jobs, results, _ := CompileJobs(specs, nil)
-	stats, err := engine.New(workers).Run(ctx, jobs)
+	stats, err := eng.Run(ctx, jobs)
 	if err != nil {
 		return nil, stats, fmt.Errorf("scenario: %w", err)
 	}

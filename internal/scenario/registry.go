@@ -57,6 +57,45 @@ type AttachConfig struct {
 	// client packets to fit the link MTU after framing); zero keeps the
 	// scheme default.
 	MSS int
+	// Packets, if non-nil, is the worker's packet arena; endpoints that
+	// honour it draw every wire packet from the arena instead of the
+	// heap. nil (e.g. for externally registered schemes that ignore it)
+	// just means heap allocation.
+	Packets *network.Pool
+
+	// world is the attaching worker's pooled world, nil outside engine
+	// world reuse. Constructors access it through Memoize/Memoized.
+	world *world
+}
+
+// Memoized returns the endpoint bundle a previous job on this worker
+// stored under (kind, salt) for this flow and MSS, if any. Constructors
+// use the pair Memoized/Memoize to reuse allocation-heavy endpoint state
+// across jobs: on a hit they Reset the retained endpoints instead of
+// building new ones. Outside world reuse it always misses.
+func (cfg AttachConfig) Memoized(kind string, salt float64) (any, bool) {
+	if cfg.world == nil {
+		return nil, false
+	}
+	v, ok := cfg.world.memo[endpointKey{kind, cfg.Flow, salt, cfg.MSS}]
+	return v, ok
+}
+
+// endpointMemoLimit bounds the per-worker endpoint memo (a Sprout bundle
+// retains a whole forecaster); past it the memo is dropped wholesale and
+// rebuilt from the working set, like the world's trace memo.
+const endpointMemoLimit = 256
+
+// Memoize stores an endpoint bundle for later jobs on this worker. It is a
+// no-op outside world reuse.
+func (cfg AttachConfig) Memoize(kind string, salt float64, v any) {
+	if cfg.world == nil {
+		return
+	}
+	if len(cfg.world.memo) >= endpointMemoLimit {
+		clear(cfg.world.memo)
+	}
+	cfg.world.memo[endpointKey{kind, cfg.Flow, salt, cfg.MSS}] = v
 }
 
 // Constructor builds one flow's endpoints on an emulated path. It must be

@@ -2,7 +2,6 @@ package scenario
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"sprout/internal/codel"
@@ -10,7 +9,6 @@ import (
 	"sprout/internal/link"
 	"sprout/internal/metrics"
 	"sprout/internal/network"
-	"sprout/internal/sim"
 	"sprout/internal/transport"
 	"sprout/internal/tunnel"
 )
@@ -61,8 +59,9 @@ type Result struct {
 	// ingress (tunnel mode only).
 	HeadDrops int64
 	// Deliveries is the raw data-direction delivery log (from the link,
-	// or from the tunnel egress in tunnel mode), for timeseries
-	// experiments.
+	// or from the tunnel egress in tunnel mode), recorded only when the
+	// spec sets KeepDeliveries; the §5.1 metrics accumulate online and
+	// need no retained log.
 	Deliveries []link.Delivery
 }
 
@@ -74,15 +73,22 @@ func Run(spec Spec, traces *engine.Cache) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	data, feedback, err := norm.resolveTraces(traces)
+	return runNormalized(norm, traces, newWorld())
+}
+
+// runNormalized executes a pre-normalized spec on the given pooled world
+// (the per-worker reuse path; CompileJobs normalizes once at compile time
+// so the hot job body does only simulation work).
+func runNormalized(norm Spec, traces *engine.Cache, w *world) (Result, error) {
+	data, feedback, err := norm.resolveTraces(traces, w)
 	if err != nil {
 		return Result{}, err
 	}
 	norm.DataTrace, norm.FeedbackTrace = data, feedback
 	if norm.Tunnel {
-		return runTunnel(norm)
+		return runTunnel(norm, w)
 	}
-	return runDirect(norm)
+	return runDirect(norm, w)
 }
 
 // useCoDel resolves the spec's AQM choice: an explicit override wins,
@@ -136,10 +142,11 @@ func dispatchFeedback(eps []flowEndpoint) network.Handler {
 
 // attachGroups constructs every group's flows in spec order, flow ids
 // ascending within a group. Construction order is part of the determinism
-// contract: endpoints schedule their first events at construction, and the
-// event loop breaks timestamp ties by insertion order.
-func attachGroups(spec Spec, loop *sim.Loop, dataConn, feedbackConn Conn, mss int) ([]flowEndpoint, error) {
-	var eps []flowEndpoint
+// contract: endpoints schedule their first events at construction (or
+// Reset, which schedules identically), and the event loop breaks timestamp
+// ties by insertion order.
+func attachGroups(spec Spec, w *world, dataConn, feedbackConn Conn, mss int) ([]flowEndpoint, error) {
+	eps := w.eps[:0]
 	for _, g := range spec.Groups {
 		scheme, ok := Lookup(g.Scheme)
 		if !ok {
@@ -148,11 +155,13 @@ func attachGroups(spec Spec, loop *sim.Loop, dataConn, feedbackConn Conn, mss in
 		for i := 0; i < g.Count; i++ {
 			ep, err := scheme.New(AttachConfig{
 				Flow:         g.BaseFlow + uint32(i),
-				Clock:        loop,
+				Clock:        w.loop,
 				DataConn:     dataConn,
 				FeedbackConn: feedbackConn,
 				Confidence:   spec.Confidence,
 				MSS:          mss,
+				Packets:      &w.pool,
+				world:        w,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("scenario: attach %s: %w", g.Scheme, err)
@@ -160,75 +169,82 @@ func attachGroups(spec Spec, loop *sim.Loop, dataConn, feedbackConn Conn, mss in
 			eps = append(eps, flowEndpoint{flow: g.BaseFlow + uint32(i), ep: ep})
 		}
 	}
+	w.eps = eps
 	return eps, nil
+}
+
+// trackFlows arms the world's accumulator with the spec's flow ids in
+// attachment order.
+func trackFlows(spec Spec, w *world) {
+	for _, g := range spec.Groups {
+		for i := 0; i < g.Count; i++ {
+			w.flowIDs = append(w.flowIDs, g.BaseFlow+uint32(i))
+		}
+	}
+	w.acc.Start(time.Duration(spec.Skip), time.Duration(spec.Duration), w.flowIDs)
 }
 
 // runDirect places the flows straight on the emulated path: the layout of
 // every figure and table except §5.7's tunnel comparison.
-func runDirect(spec Spec) (Result, error) {
-	loop := sim.New()
+func runDirect(spec Spec, w *world) (Result, error) {
+	w.begin()
 	duration := time.Duration(spec.Duration)
 
-	// Late-bound handlers let links and endpoints reference each other.
-	var onFwd, onRev network.Handler
 	var fwdDeq, revDeq link.Dequeuer
 	if spec.useCoDel() {
 		fwdDeq, revDeq = codel.New(0, 0), codel.New(0, 0)
 	}
 	// All randomness is job-local: each link's loss RNG is freshly
-	// derived from the spec seed here, inside the job, so concurrent
+	// re-seeded from the spec seed here, inside the job, so concurrent
 	// experiment jobs never share a *rand.Rand (see internal/engine's
 	// package doc for the determinism contract). The +1000/+2000 offsets
 	// are frozen: they are part of the regenerated figures' byte
 	// identity.
-	fwd := link.New(loop, link.Config{
+	fwd := w.resetLink(&w.fwd, link.Config{
 		Trace:            spec.DataTrace,
 		PropagationDelay: time.Duration(spec.PropDelay),
 		LossRate:         spec.Loss,
 		Dequeuer:         fwdDeq,
-		Rand:             rand.New(rand.NewSource(spec.Seed + 1000)),
-	}, func(p *network.Packet) {
-		if onFwd != nil {
-			onFwd(p)
-		}
-	})
-	fwd.RecordDeliveries(true)
-	rev := link.New(loop, link.Config{
+		Rand:             reseed(&w.fwdRand, spec.Seed+1000),
+	}, w.fwdHandler)
+	rev := w.resetLink(&w.rev, link.Config{
 		Trace:            spec.FeedbackTrace,
 		PropagationDelay: time.Duration(spec.PropDelay),
 		LossRate:         spec.Loss,
 		Dequeuer:         revDeq,
-		Rand:             rand.New(rand.NewSource(spec.Seed + 2000)),
-	}, func(p *network.Packet) {
-		if onRev != nil {
-			onRev(p)
-		}
-	})
+		Rand:             reseed(&w.revRand, spec.Seed+2000),
+	}, w.revHandler)
 
-	eps, err := attachGroups(spec, loop, fwd, rev, 0)
+	// Metrics accumulate as packets cross the link; the raw log is kept
+	// only when the spec asks for it.
+	trackFlows(spec, w)
+	fwd.OnDelivery(w.observe)
+	fwd.RecordDeliveries(spec.KeepDeliveries)
+
+	eps, err := attachGroups(spec, w, fwd, rev, 0)
 	if err != nil {
 		return Result{}, err
 	}
-	onFwd, onRev = dispatchData(eps), dispatchFeedback(eps)
+	w.onFwd, w.onRev = dispatchData(eps), dispatchFeedback(eps)
 
-	loop.Run(duration)
-	dl := fwd.Deliveries()
+	w.loop.Run(duration)
 	res := Result{
 		Spec:    spec,
-		Metrics: metrics.Evaluate(dl, spec.DataTrace, time.Duration(spec.PropDelay), time.Duration(spec.Skip), duration),
+		Metrics: w.acc.Evaluate(spec.DataTrace, time.Duration(spec.PropDelay)),
 	}
 	if spec.KeepDeliveries {
-		res.Deliveries = dl
+		res.Deliveries = fwd.TakeDeliveries()
 	}
-	res.finishFlows(spec, eps, dl)
+	res.finishFlows(spec, w)
 	return res, nil
 }
 
 // runTunnel carries the client flows through SproutTunnel (§4.3): one
 // Sprout session per direction, per-flow queues with round-robin service
 // and forecast-bounded head drops at the ingress.
-func runTunnel(spec Spec) (Result, error) {
-	loop := sim.New()
+func runTunnel(spec Spec, w *world) (Result, error) {
+	w.begin()
+	loop := w.loop
 	duration := time.Duration(spec.Duration)
 
 	// Sprout session 1 carries client data A->B on the data trace;
@@ -238,11 +254,11 @@ func runTunnel(spec Spec) (Result, error) {
 	var rcvDown, rcvUp *transport.Receiver
 	var sndDown, sndUp *transport.Sender
 
-	fwd := link.New(loop, link.Config{
+	fwd := w.resetLink(&w.fwd, link.Config{
 		Trace:            spec.DataTrace,
 		PropagationDelay: time.Duration(spec.PropDelay),
 		LossRate:         spec.Loss,
-		Rand:             rand.New(rand.NewSource(spec.Seed + 1000)),
+		Rand:             reseed(&w.fwdRand, spec.Seed+1000),
 	}, func(p *network.Packet) {
 		switch p.Flow {
 		case tunnelSessionDown:
@@ -251,11 +267,11 @@ func runTunnel(spec Spec) (Result, error) {
 			sndUp.Receive(p)
 		}
 	})
-	rev := link.New(loop, link.Config{
+	rev := w.resetLink(&w.rev, link.Config{
 		Trace:            spec.FeedbackTrace,
 		PropagationDelay: time.Duration(spec.PropDelay),
 		LossRate:         spec.Loss,
-		Rand:             rand.New(rand.NewSource(spec.Seed + 2000)),
+		Rand:             reseed(&w.revRand, spec.Seed+2000),
 	}, func(p *network.Packet) {
 		switch p.Flow {
 		case tunnelSessionDown:
@@ -270,92 +286,88 @@ func runTunnel(spec Spec) (Result, error) {
 
 	// Client endpoints attach after the tunnel machinery, so the egress
 	// handlers late-bind exactly like the direct path's links.
-	var onData, onFeedback network.Handler
-	egressDown := tunnel.NewEgress(loop, func(p *network.Packet) {
-		if onData != nil {
-			onData(p)
-		}
-	})
-	egressDown.RecordDeliveries(true)
-	egressUp := tunnel.NewEgress(loop, func(p *network.Packet) {
-		if onFeedback != nil {
-			onFeedback(p)
-		}
-	})
+	egressDown := tunnel.NewEgress(loop, w.fwdHandler)
+	egressDown.UsePool(&w.pool)
+	trackFlows(spec, w)
+	egressDown.OnDelivery(w.observe)
+	egressDown.RecordDeliveries(spec.KeepDeliveries)
+	egressUp := tunnel.NewEgress(loop, w.revHandler)
+	egressUp.UsePool(&w.pool)
 
 	rcvDown = transport.NewReceiver(transport.ReceiverConfig{
 		Flow: tunnelSessionDown, Clock: loop, Conn: rev, Deliver: egressDown.Deliver,
+		Pool: &w.pool,
 	})
 	sndDown = transport.NewSender(transport.SenderConfig{
 		Flow: tunnelSessionDown, Clock: loop, Conn: fwd, Source: ingressDown,
+		Pool: &w.pool,
 	})
 	ingressDown.Bind(sndDown)
 	rcvUp = transport.NewReceiver(transport.ReceiverConfig{
 		Flow: tunnelSessionUp, Clock: loop, Conn: fwd, Deliver: egressUp.Deliver,
+		Pool: &w.pool,
 	})
 	sndUp = transport.NewSender(transport.SenderConfig{
 		Flow: tunnelSessionUp, Clock: loop, Conn: rev, Source: ingressUp,
+		Pool: &w.pool,
 	})
 	ingressUp.Bind(sndUp)
 
 	submitDown := transport.ConnFunc(func(p *network.Packet) { ingressDown.Submit(p) })
 	submitUp := transport.ConnFunc(func(p *network.Packet) { ingressUp.Submit(p) })
 
-	eps, err := attachGroups(spec, loop, submitDown, submitUp, TunnelClientMSS)
+	eps, err := attachGroups(spec, w, submitDown, submitUp, TunnelClientMSS)
 	if err != nil {
 		return Result{}, err
 	}
-	onData, onFeedback = dispatchData(eps), dispatchFeedback(eps)
+	w.onFwd, w.onRev = dispatchData(eps), dispatchFeedback(eps)
 
 	loop.Run(duration)
-	dl := egressDown.Deliveries()
 	res := Result{
 		Spec:      spec,
 		HeadDrops: ingressDown.HeadDrops(),
 	}
 	if spec.KeepDeliveries {
-		res.Deliveries = dl
+		res.Deliveries = egressDown.TakeDeliveries()
 	}
-	res.finishFlows(spec, eps, dl)
+	res.finishFlows(spec, w)
 	return res, nil
 }
 
 // finishFlows derives the per-flow and cross-flow aggregates from the
-// data-direction delivery log.
-func (r *Result) finishFlows(spec Spec, eps []flowEndpoint, dl []link.Delivery) {
-	skip, duration := time.Duration(spec.Skip), time.Duration(spec.Duration)
-	schemeOf := make(map[uint32]string, len(eps))
-	for _, g := range spec.Groups {
-		for i := 0; i < g.Count; i++ {
-			schemeOf[g.BaseFlow+uint32(i)] = g.Scheme
-		}
+// accumulator's streams.
+func (r *Result) finishFlows(spec Spec, w *world) {
+	n := w.acc.FlowCount()
+	if n == 0 {
+		return
 	}
+	r.Flows = w.takeFlowResults(n)
 	var sum, sumSq float64
-	for _, fe := range eps {
-		flowDl := dl
-		if len(eps) > 1 {
-			// With one flow the whole log is that flow's; skip the
-			// filtered copy on the common single-flow path.
-			flowDl = metrics.FilterFlow(dl, fe.flow)
+	gi, gc := 0, 0 // walk groups in step with the flow order
+	for i := 0; i < n; i++ {
+		for gc >= spec.Groups[gi].Count {
+			gi++
+			gc = 0
 		}
-		fr := FlowResult{
-			Flow:          fe.flow,
-			Scheme:        schemeOf[fe.flow],
-			ThroughputBps: metrics.Throughput(flowDl, skip, duration),
-			Delay95:       metrics.EndToEndDelay(flowDl, skip, duration, 0.95),
+		flow, tput, d95 := w.acc.Flow(i)
+		r.Flows[i] = FlowResult{
+			Flow:          flow,
+			Scheme:        spec.Groups[gi].Scheme,
+			ThroughputBps: tput,
+			Delay95:       d95,
 		}
-		r.Flows = append(r.Flows, fr)
-		sum += fr.ThroughputBps
-		sumSq += fr.ThroughputBps * fr.ThroughputBps
+		gc++
+		sum += tput
+		sumSq += tput * tput
 	}
-	if len(r.Flows) == 1 {
+	if n == 1 {
 		// The lone flow's log is the whole log: its percentile is the
-		// aggregate, no second sort pass needed.
+		// aggregate, no second pass needed.
 		r.Delay95 = r.Flows[0].Delay95
 	} else {
-		r.Delay95 = metrics.EndToEndDelay(dl, skip, duration, 0.95)
+		r.Delay95 = w.acc.Delay95()
 	}
 	if sumSq > 0 {
-		r.JainIndex = sum * sum / (float64(len(r.Flows)) * sumSq)
+		r.JainIndex = sum * sum / (float64(n) * sumSq)
 	}
 }

@@ -21,12 +21,12 @@ func init() {
 	Register(Scheme{
 		Name:        "sprout",
 		Description: "Sprout: Bayesian delivery forecasts, 95% cautious window (§3)",
-		New:         sproutConstructor(func(p core.Params) core.Forecaster { return core.NewDeliveryForecaster(core.NewModel(p)) }),
+		New:         sproutConstructor("sprout", func(p core.Params) core.Forecaster { return core.NewDeliveryForecaster(core.NewModel(p)) }),
 	})
 	Register(Scheme{
 		Name:        "sprout-ewma",
 		Description: "Sprout-EWMA: EWMA rate tracker in place of the Bayesian filter (§5.3)",
-		New:         sproutConstructor(func(core.Params) core.Forecaster { return core.NewEWMAForecaster(0, 0, 0) }),
+		New:         sproutConstructor("sprout-ewma", func(core.Params) core.Forecaster { return core.NewEWMAForecaster(0, 0, 0) }),
 	})
 
 	// Interactive applications (the measured commercial programs).
@@ -78,7 +78,7 @@ func init() {
 		Name:        "sprout-adaptive",
 		Description: "Sprout with online σ adaptation (the §3.1/§7 extension)",
 		Extra:       true,
-		New: sproutConstructor(func(p core.Params) core.Forecaster {
+		New: sproutConstructor("sprout-adaptive", func(p core.Params) core.Forecaster {
 			return core.NewAdaptiveForecaster(core.NewModel(p), core.AdaptiveConfig{})
 		}),
 	})
@@ -91,35 +91,75 @@ func init() {
 	})
 }
 
+// The built-in constructors memoize their endpoints in the worker's world
+// (AttachConfig.Memoized/Memoize): the first job on a worker builds them,
+// every later job Resets the retained instances instead — the same
+// construction sequence, so the event-queue priorities endpoints consume
+// are identical and reuse cannot perturb results.
+
+// sproutEndpoints is the memoized bundle of one Sprout-family flow.
+type sproutEndpoints struct {
+	rcv *transport.Receiver
+	snd *transport.Sender
+	ep  Endpoint
+}
+
 // sproutConstructor builds the Sprout-family constructor: the variants
-// differ only in the forecaster the receiver runs.
-func sproutConstructor(forecaster func(core.Params) core.Forecaster) Constructor {
+// differ only in the forecaster the receiver runs (kind tags the variant
+// in the endpoint memo).
+func sproutConstructor(kind string, forecaster func(core.Params) core.Forecaster) Constructor {
 	return func(cfg AttachConfig) (Endpoint, error) {
+		rcfg := transport.ReceiverConfig{
+			Flow: cfg.Flow, Clock: cfg.Clock, Conn: cfg.FeedbackConn,
+			Pool: cfg.Packets,
+		}
+		scfg := transport.SenderConfig{
+			Flow: cfg.Flow, Clock: cfg.Clock, Conn: cfg.DataConn,
+			Pool: cfg.Packets,
+		}
+		// Confidence shapes the forecaster, so it salts the memo key:
+		// the §5.5 sweep's five confidences get five bundles, each
+		// reused by later jobs at the same setting.
+		if v, ok := cfg.Memoized(kind, cfg.Confidence); ok {
+			se := v.(*sproutEndpoints)
+			rcfg.Forecaster = se.rcv.Forecaster()
+			se.rcv.Reset(rcfg)
+			se.snd.Reset(scfg)
+			return se.ep, nil
+		}
 		params := core.Params{}
 		if cfg.Confidence != 0 {
 			params.Confidence = cfg.Confidence
 		}
-		rcv := transport.NewReceiver(transport.ReceiverConfig{
-			Flow: cfg.Flow, Clock: cfg.Clock, Conn: cfg.FeedbackConn,
-			Forecaster: forecaster(params),
-		})
-		snd := transport.NewSender(transport.SenderConfig{
-			Flow: cfg.Flow, Clock: cfg.Clock, Conn: cfg.DataConn,
-		})
-		return Endpoint{Data: rcv.Receive, Feedback: snd.Receive}, nil
+		rcfg.Forecaster = forecaster(params)
+		rcv := transport.NewReceiver(rcfg)
+		snd := transport.NewSender(scfg)
+		se := &sproutEndpoints{rcv: rcv, snd: snd, ep: Endpoint{Data: rcv.Receive, Feedback: snd.Receive}}
+		cfg.Memoize(kind, cfg.Confidence, se)
+		return se.ep, nil
 	}
+}
+
+// tcpEndpoints is the memoized bundle of one TCP-baseline flow.
+type tcpEndpoints struct {
+	rcv *tcp.Receiver
+	snd *tcp.Sender
+	ep  Endpoint
 }
 
 // tcpConstructor builds a TCP-baseline constructor around a registered
 // congestion controller.
 func tcpConstructor(cc string) Constructor {
+	kind := "tcp/" + cc
 	return func(cfg AttachConfig) (Endpoint, error) {
 		ctrl, ok := tcp.NewCC(cc, cfg.Clock.Now)
 		if !ok {
 			return Endpoint{}, fmt.Errorf("scenario: no congestion controller %q (have %v)", cc, tcp.CCNames())
 		}
-		rcv := tcp.NewReceiver(cfg.Flow, cfg.Clock, cfg.FeedbackConn)
-		sc := tcp.SenderConfig{Flow: cfg.Flow, Clock: cfg.Clock, Conn: cfg.DataConn, CC: ctrl, MSS: cfg.MSS}
+		sc := tcp.SenderConfig{
+			Flow: cfg.Flow, Clock: cfg.Clock, Conn: cfg.DataConn, CC: ctrl, MSS: cfg.MSS,
+			Pool: cfg.Packets,
+		}
 		if cc == "compound" {
 			// The paper's Compound endpoint is Windows 7, whose
 			// receive-window autotuning is far more conservative
@@ -128,14 +168,32 @@ func tcpConstructor(cc string) Constructor {
 			// Compound would be indistinguishable from Cubic.
 			sc.MaxWindow = 170
 		}
+		if v, ok := cfg.Memoized(kind, 0); ok {
+			te := v.(*tcpEndpoints)
+			te.rcv.Reset(cfg.Flow, cfg.Clock, cfg.FeedbackConn)
+			te.snd.Reset(sc)
+			return te.ep, nil
+		}
+		rcv := tcp.NewReceiver(cfg.Flow, cfg.Clock, cfg.FeedbackConn)
+		rcv.UsePool(cfg.Packets)
 		snd := tcp.NewSender(sc)
-		return Endpoint{Data: rcv.Receive, Feedback: snd.Receive}, nil
+		te := &tcpEndpoints{rcv: rcv, snd: snd, ep: Endpoint{Data: rcv.Receive, Feedback: snd.Receive}}
+		cfg.Memoize(kind, 0, te)
+		return te.ep, nil
 	}
+}
+
+// appEndpoints is the memoized bundle of one interactive-application flow.
+type appEndpoints struct {
+	rcv *app.Receiver
+	snd *app.Sender
+	ep  Endpoint
 }
 
 // appConstructor builds an interactive-application constructor around a
 // named profile.
 func appConstructor(profile string) Constructor {
+	kind := "app/" + profile
 	return func(cfg AttachConfig) (Endpoint, error) {
 		p, ok := app.ProfileByName(profile)
 		if !ok {
@@ -144,8 +202,18 @@ func appConstructor(profile string) Constructor {
 		if cfg.MSS > 0 {
 			p.PacketSize = cfg.MSS
 		}
+		if v, ok := cfg.Memoized(kind, 0); ok {
+			ae := v.(*appEndpoints)
+			ae.rcv.Reset(cfg.Flow, p, cfg.Clock, cfg.FeedbackConn)
+			ae.snd.Reset(cfg.Flow, p, cfg.Clock, cfg.DataConn)
+			return ae.ep, nil
+		}
 		rcv := app.NewReceiver(cfg.Flow, p, cfg.Clock, cfg.FeedbackConn)
+		rcv.UsePool(cfg.Packets)
 		snd := app.NewSender(cfg.Flow, p, cfg.Clock, cfg.DataConn)
-		return Endpoint{Data: rcv.Receive, Feedback: snd.Receive}, nil
+		snd.UsePool(cfg.Packets)
+		ae := &appEndpoints{rcv: rcv, snd: snd, ep: Endpoint{Data: rcv.Receive, Feedback: snd.Receive}}
+		cfg.Memoize(kind, 0, ae)
+		return ae.ep, nil
 	}
 }

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 	"time"
 
@@ -10,10 +11,15 @@ import (
 	"sprout/internal/trace"
 )
 
+// canonicalNets caches the canonical network table (built fresh by every
+// trace.CanonicalNetworks call) for the per-job lookup path; it is only
+// ever read.
+var canonicalNets = trace.CanonicalNetworks()
+
 // LookupNetwork resolves a Spec.Link name to a canonical network pair.
 // Matching is case-insensitive on the full name.
 func LookupNetwork(name string) (trace.NetworkPair, bool) {
-	for _, p := range trace.CanonicalNetworks() {
+	for _, p := range canonicalNets {
 		if strings.EqualFold(p.Name, name) {
 			return p, true
 		}
@@ -50,28 +56,45 @@ func GenerateTracePair(pair trace.NetworkPair, direction string, d time.Duration
 	return down, up
 }
 
-// tracePair is a cached data/feedback trace pair.
+// tracePair is a cached down/up trace pair. Traces are immutable packed
+// opportunity schedules, so one instance is shared by reference across
+// every job and both directions — a "down" and an "up" spec on the same
+// link see the very same two traces, just swapped.
 type tracePair struct {
-	data, feedback *trace.Trace
+	down, up *trace.Trace
 }
 
-// CachedTracePair returns the trace pair for one network and direction,
-// generating it at most once per cache regardless of how many concurrent
-// jobs ask for it. Traces are immutable after generation, so jobs share
-// them freely.
-func CachedTracePair(c *engine.Cache, pair trace.NetworkPair, dir string, d time.Duration, seed int64) (data, feedback *trace.Trace) {
-	key := fmt.Sprintf("%s/%s/%d/%d", pair.Name, dir, d, seed)
-	tp := c.Get(key, func() any {
-		data, fb := GenerateTracePair(pair, dir, d, seed)
-		return tracePair{data, fb}
+// The trace cache is keyed per (network, duration, seed) — direction is
+// only a view: GenerateTracePair derives both directions from the same
+// per-link seeds, so the swap costs nothing and the §5.5 sweep, both loss
+// table directions and multi-scheme grids all share one immutable pair
+// per (link, seed), by reference, never copied per job.
+
+// pairKey appends the shared cache key for one (network, duration, seed)
+// pair to buf — the single definition both the shared cache and the
+// worker-local memo key on.
+func pairKey(buf []byte, pair trace.NetworkPair, d time.Duration, seed int64) []byte {
+	buf = append(buf, pair.Name...)
+	buf = append(buf, '/')
+	buf = strconv.AppendInt(buf, int64(d), 10)
+	buf = append(buf, '/')
+	buf = strconv.AppendInt(buf, seed, 10)
+	return buf
+}
+
+// sharedPair fetches (or generates, single-flight) the direction-free pair
+// from the shared cache under an already-built pairKey.
+func sharedPair(c *engine.Cache, key []byte, pair trace.NetworkPair, d time.Duration, seed int64) tracePair {
+	return c.GetBytes(key, func() any {
+		down, up := GenerateTracePair(pair, "down", d, seed)
+		return tracePair{down, up}
 	}).(tracePair)
-	return tp.data, tp.feedback
 }
 
 // resolveTraces returns the spec's trace pair: the injected traces, or the
 // canonical pair for (Link, Direction) via the cache (nil cache generates
-// directly).
-func (s Spec) resolveTraces(c *engine.Cache) (data, feedback *trace.Trace, err error) {
+// directly). The world supplies the reused key scratch.
+func (s Spec) resolveTraces(c *engine.Cache, w *world) (data, feedback *trace.Trace, err error) {
 	if s.DataTrace != nil && s.FeedbackTrace != nil {
 		return s.DataTrace, s.FeedbackTrace, nil
 	}
@@ -83,6 +106,33 @@ func (s Spec) resolveTraces(c *engine.Cache) (data, feedback *trace.Trace, err e
 		data, feedback = GenerateTracePair(pair, s.Direction, time.Duration(s.Duration), s.Seed)
 		return data, feedback, nil
 	}
-	data, feedback = CachedTracePair(c, pair, s.Direction, time.Duration(s.Duration), s.Seed)
-	return data, feedback, nil
+	tp, key := w.cachedPair(c, pair, time.Duration(s.Duration), s.Seed)
+	w.keyBuf = key
+	if s.Direction == "up" {
+		return tp.up, tp.down, nil
+	}
+	return tp.down, tp.up, nil
+}
+
+// worldTraceMemoLimit bounds the per-worker trace memo; past it the memo
+// is dropped wholesale (the shared cache still serves, just with a
+// generator closure per lookup).
+const worldTraceMemoLimit = 64
+
+// cachedPair resolves through the worker-local memo first — a warm worker
+// re-running known links allocates nothing (the hit still bumps the
+// shared cache's hit counter, one mutex tap, so RunStats stays faithful)
+// — falling back to the shared single-flight cache on a miss.
+func (w *world) cachedPair(c *engine.Cache, pair trace.NetworkPair, d time.Duration, seed int64) (tracePair, []byte) {
+	key := pairKey(w.keyBuf[:0], pair, d, seed)
+	if tp, ok := w.traceMemo[string(key)]; ok {
+		c.NoteHit() // keep Counts (and RunStats.TracesReused) faithful
+		return tp, key
+	}
+	tp := sharedPair(c, key, pair, d, seed)
+	if len(w.traceMemo) >= worldTraceMemoLimit {
+		clear(w.traceMemo)
+	}
+	w.traceMemo[string(key)] = tp
+	return tp, key
 }

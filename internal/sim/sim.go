@@ -274,6 +274,26 @@ func (l *Loop) Run(until time.Duration) {
 // events from the heap eagerly, so this is an exact O(1) count.
 func (l *Loop) Pending() int { return len(l.heap) }
 
+// Reset restores the loop to its initial state — virtual time zero, empty
+// event queue, sequence counter zero — without freeing the slot arena, so a
+// reused loop schedules its first events with no allocation. Every pending
+// event is cancelled and every outstanding Timer handle invalidated (Stop
+// on one returns false, exactly as after firing). A reset loop is
+// indistinguishable from a fresh one to its callers: the (time, sequence)
+// priorities handed out after Reset replay those of a new Loop, which is
+// what keeps reused-world experiment runs byte-identical to fresh-world
+// runs.
+func (l *Loop) Reset() {
+	for _, s := range l.heap {
+		s.fn = nil
+		s.gen++
+		s.idx = -1
+		l.free = append(l.free, s)
+	}
+	l.heap = l.heap[:0]
+	l.now, l.seq = 0, 0
+}
+
 // --- min-heap on (at, seq), indices tracked in the slots ---
 
 func slotLess(a, b *slot) bool {

@@ -64,6 +64,13 @@ func (s *IntervalSet) AdvanceFloor(f int64) {
 	s.ivs = out
 }
 
+// Reset empties the set and returns the floor to zero, keeping the
+// interval storage for reuse.
+func (s *IntervalSet) Reset() {
+	s.ivs = s.ivs[:0]
+	s.floor = 0
+}
+
 // Floor returns the current received-or-lost floor.
 func (s *IntervalSet) Floor() int64 { return s.floor }
 

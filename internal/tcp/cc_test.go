@@ -176,7 +176,7 @@ func TestReceiverOutOfOrderBuffering(t *testing.T) {
 		}
 	}))
 	deliver := func(seq segnum) {
-		rcv.Receive(dataPacket(1, seq, 1500, 0))
+		rcv.Receive(dataPacket(nil, 1, seq, 1500, 0))
 	}
 	deliver(0)
 	deliver(2) // hole at 1
@@ -209,8 +209,8 @@ func TestSenderIgnoresGarbage(t *testing.T) {
 		Conn: connFn(func(p *networkPacket) {}),
 	})
 	snd.Receive(&networkPacket{Payload: []byte{1, 2}}) // short
-	snd.Receive(dataPacket(1, 0, 1500, 0))             // wrong kind
-	snd.Receive(ackPacket(1, -1, 0))                   // stale ack
+	snd.Receive(dataPacket(nil, 1, 0, 1500, 0))             // wrong kind
+	snd.Receive(ackPacket(nil, 1, -1, 0))                   // stale ack
 	if snd.InFlight() != 0 && snd.sndUna != 0 {
 		t.Errorf("garbage moved state: una=%d", snd.sndUna)
 	}

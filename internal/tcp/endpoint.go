@@ -23,6 +23,9 @@ type SenderConfig struct {
 	// MinRTO is the retransmission-timer floor; zero means 200 ms
 	// (the Linux default).
 	MinRTO time.Duration
+	// Pool, if non-nil, is the packet arena segments draw from (world
+	// reuse); nil allocates from the heap.
+	Pool *network.Pool
 }
 
 func (c SenderConfig) withDefaults() SenderConfig {
@@ -58,6 +61,7 @@ type Sender struct {
 	minRTT       time.Duration
 	rtoTimer     sim.Timer
 	timeoutFn    func() // built once so re-arming the RTO does not allocate
+	startFn      func() // built once so Reset's kickoff does not allocate
 	backoff      int
 
 	// Counters.
@@ -69,20 +73,41 @@ type Sender struct {
 
 // NewSender creates the sender and begins transmitting immediately.
 func NewSender(cfg SenderConfig) *Sender {
+	s := &Sender{
+		sentAt:      make(map[segnum]time.Duration),
+		retransmits: make(map[segnum]bool),
+	}
+	s.timeoutFn = s.onTimeout
+	s.startFn = s.trySend
+	s.Reset(cfg)
+	return s
+}
+
+// Reset restores the sender to its freshly constructed state under a new
+// configuration (typically with a fresh CC instance), retaining its maps.
+// Must be called at a world boundary — clock reset, produced packets
+// unreferenced; the initial transmit event is scheduled exactly as
+// NewSender schedules it.
+func (s *Sender) Reset(cfg SenderConfig) {
 	cfg = cfg.withDefaults()
 	if cfg.Clock == nil || cfg.Conn == nil || cfg.CC == nil {
 		panic("tcp: SenderConfig requires Clock, Conn and CC")
 	}
-	s := &Sender{
-		cfg:         cfg,
-		sentAt:      make(map[segnum]time.Duration),
-		retransmits: make(map[segnum]bool),
-		rto:         time.Second, // RFC 6298 initial RTO
-		minRTT:      time.Hour,
-	}
-	s.timeoutFn = s.onTimeout
-	s.cfg.Clock.After(0, s.trySend)
-	return s
+	s.cfg = cfg
+	s.nextSeq, s.sndUna = 0, 0
+	s.dupAcks = 0
+	s.inRecovery = false
+	s.recoverSeq = 0
+	clear(s.sentAt)
+	clear(s.retransmits)
+	s.srtt, s.rttvar = 0, 0
+	s.rto = time.Second // RFC 6298 initial RTO
+	s.minRTT = time.Hour
+	s.rtoTimer.Stop() // no-op after a clock reset (stale handle)
+	s.rtoTimer = sim.Timer{}
+	s.backoff = 0
+	s.segmentsSent, s.retxSent, s.timeouts, s.fastRecov = 0, 0, 0, 0
+	s.cfg.Clock.After(0, s.startFn)
 }
 
 // Stats returns transmission counters.
@@ -121,7 +146,7 @@ func (s *Sender) trySend() {
 }
 
 func (s *Sender) transmit(seq segnum, now time.Duration, isRetx bool) {
-	pkt := dataPacket(s.cfg.Flow, seq, s.cfg.MSS, now)
+	pkt := dataPacket(s.cfg.Pool, s.cfg.Flow, seq, s.cfg.MSS, now)
 	if isRetx {
 		s.retransmits[seq] = true
 		s.retxSent++
@@ -249,6 +274,7 @@ type Receiver struct {
 	flow    uint32
 	clock   sim.Clock
 	conn    Conn
+	pool    *network.Pool
 	rcvNxt  segnum
 	ooo     map[segnum]bool
 	acks    int64
@@ -259,10 +285,26 @@ type Receiver struct {
 
 // NewReceiver creates a TCP receiver; conn carries ACKs back to the sender.
 func NewReceiver(flow uint32, clock sim.Clock, conn Conn) *Receiver {
+	r := &Receiver{ooo: make(map[segnum]bool)}
+	r.Reset(flow, clock, conn)
+	return r
+}
+
+// UsePool directs the receiver's ACK packets to the given arena (world
+// reuse); nil reverts to heap allocation.
+func (r *Receiver) UsePool(p *network.Pool) { r.pool = p }
+
+// Reset restores the receiver to its freshly constructed state for a new
+// run, retaining its map storage. Must be called at a world boundary.
+func (r *Receiver) Reset(flow uint32, clock sim.Clock, conn Conn) {
 	if clock == nil || conn == nil {
 		panic("tcp: Receiver requires clock and conn")
 	}
-	return &Receiver{flow: flow, clock: clock, conn: conn, ooo: make(map[segnum]bool)}
+	r.flow, r.clock, r.conn = flow, clock, conn
+	r.rcvNxt = 0
+	clear(r.ooo)
+	r.acks, r.segsIn, r.dupsIn = 0, 0, 0
+	r.highest = 0
 }
 
 // Segments returns the count of data segments received (including
@@ -293,5 +335,5 @@ func (r *Receiver) Receive(pkt *network.Packet) {
 		r.dupsIn++
 	}
 	r.acks++
-	r.conn.Send(ackPacket(r.flow, r.rcvNxt, r.clock.Now()))
+	r.conn.Send(ackPacket(r.pool, r.flow, r.rcvNxt, r.clock.Now()))
 }

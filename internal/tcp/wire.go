@@ -54,25 +54,25 @@ type Conn interface {
 	Send(pkt *network.Packet)
 }
 
-func dataPacket(flow uint32, seq segnum, mss int, now time.Duration) *network.Packet {
+func dataPacket(pool *network.Pool, flow uint32, seq segnum, mss int, now time.Duration) *network.Packet {
 	h := wireHeader{kind: kindData, flow: flow, seq: seq}
-	return &network.Packet{
-		Flow:    flow,
-		Seq:     seq,
-		Size:    mss,
-		Payload: h.marshal(nil),
-		SentAt:  now,
-	}
+	pkt := pool.Get()
+	pkt.Flow = flow
+	pkt.Seq = seq
+	pkt.Size = mss
+	pkt.Payload = h.marshal(pkt.Payload[:0])
+	pkt.SentAt = now
+	return pkt
 }
 
-func ackPacket(flow uint32, ack segnum, now time.Duration) *network.Packet {
+func ackPacket(pool *network.Pool, flow uint32, ack segnum, now time.Duration) *network.Packet {
 	h := wireHeader{kind: kindAck, ack: ack}
 	h.flow = flow
-	return &network.Packet{
-		Flow:    flow,
-		Seq:     ack,
-		Size:    AckSize,
-		Payload: h.marshal(nil),
-		SentAt:  now,
-	}
+	pkt := pool.Get()
+	pkt.Flow = flow
+	pkt.Seq = ack
+	pkt.Size = AckSize
+	pkt.Payload = h.marshal(pkt.Payload[:0])
+	pkt.SentAt = now
+	return pkt
 }

@@ -40,6 +40,9 @@ type ReceiverConfig struct {
 	// information-preserving censored update (DESIGN.md §6.1), without
 	// which underflowed periods leave the estimate frozen.
 	LiteralSkip bool
+	// Pool, if non-nil, is the packet arena feedback packets draw from
+	// (world reuse); nil allocates from the heap.
+	Pool *network.Pool
 }
 
 func (c ReceiverConfig) withDefaults() ReceiverConfig {
@@ -85,25 +88,46 @@ type Receiver struct {
 	ticksObserved   int64
 	ticksCensored   int64
 	ticksSkipped    int64
-
-	hdrBuf []byte
 }
 
 // NewReceiver creates the receiver and starts its inference tick.
 func NewReceiver(cfg ReceiverConfig) *Receiver {
-	cfg = cfg.withDefaults()
-	if cfg.Clock == nil || cfg.Conn == nil {
-		panic("transport: ReceiverConfig requires Clock and Conn")
-	}
 	r := &Receiver{
-		cfg:        cfg,
-		hdrBuf:     make([]byte, 0, protocol.HeaderSize),
 		fcWireBuf:  make([]uint32, 0, protocol.MaxForecastTicks),
 		fcParseBuf: make([]uint32, 0, protocol.MaxForecastTicks),
 	}
 	r.tickFn = r.tick
-	r.tickTimer = r.cfg.Clock.After(cfg.Forecaster.TickDuration(), r.tickFn)
+	r.Reset(cfg)
 	return r
+}
+
+// Reset restores the receiver to its freshly constructed state under a new
+// configuration, retaining every buffer. The forecaster in cfg is Reset
+// too (back to its prior), so passing a retained forecaster reuses its
+// buffers across runs. Like Sender.Reset, it must be called at a world
+// boundary (clock reset, no produced packets referenced); the inference
+// tick is re-armed exactly as NewReceiver arms it, preserving event-queue
+// priorities so reused worlds stay byte-identical.
+func (r *Receiver) Reset(cfg ReceiverConfig) {
+	cfg = cfg.withDefaults()
+	if cfg.Clock == nil || cfg.Conn == nil {
+		panic("transport: ReceiverConfig requires Clock and Conn")
+	}
+	r.cfg = cfg
+	r.cfg.Forecaster.Reset()
+	r.recvSet.Reset()
+	r.bytesThisTick = 0
+	r.highestSeq = 0
+	r.seenAny = false
+	r.lastTTN, r.expectedNext = 0, 0
+	r.feedbackSeq = 0
+	r.ticksSinceFB = 0
+	r.forecastBuf = r.forecastBuf[:0]
+	r.feedbackCount = 0
+	r.packetsReceived, r.bytesReceived, r.parseErrors = 0, 0, 0
+	r.ticksObserved, r.ticksCensored, r.ticksSkipped = 0, 0, 0
+	r.tickTimer.Stop() // no-op after a clock reset (stale handle)
+	r.tickTimer = r.cfg.Clock.After(r.cfg.Forecaster.TickDuration(), r.tickFn)
 }
 
 // RecvTotal returns the bytes received or written off as lost.
@@ -239,19 +263,16 @@ func (r *Receiver) sendFeedback(now time.Duration) {
 		TickDuration: r.cfg.Forecaster.TickDuration(),
 		Forecast:     fc,
 	}
-	payload, err := h.Marshal(r.hdrBuf[:0])
+	pkt := r.cfg.Pool.Get()
+	payload, err := h.Marshal(pkt.Payload[:0])
 	if err != nil {
 		return
 	}
-	buf := make([]byte, len(payload))
-	copy(buf, payload)
-	pkt := &network.Packet{
-		Flow:    r.cfg.Flow,
-		Seq:     int64(r.feedbackSeq),
-		Size:    protocol.HeaderSize,
-		Payload: buf,
-		SentAt:  now,
-	}
+	pkt.Flow = r.cfg.Flow
+	pkt.Seq = int64(r.feedbackSeq)
+	pkt.Size = protocol.HeaderSize
+	pkt.Payload = payload
+	pkt.SentAt = now
 	r.feedbackSeq += uint64(pkt.Size)
 	r.feedbackCount++
 	r.cfg.Conn.Send(pkt)

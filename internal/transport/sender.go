@@ -41,6 +41,9 @@ type SenderConfig struct {
 	// suppressed while the queue estimate indicates backlog. Zero means
 	// 1; negative disables probing.
 	ProbePackets int
+	// Pool, if non-nil, is the packet arena outgoing packets draw from
+	// (world reuse); nil allocates from the heap.
+	Pool *network.Pool
 }
 
 func (c SenderConfig) withDefaults() SenderConfig {
@@ -84,10 +87,11 @@ type Sender struct {
 	forecastPos   int           // ticks of the forecast already consumed
 	queueEst      int64         // estimated bytes in the bottleneck queue
 
-	lastSendAt time.Duration
-	pending    *pendingPacket // buffered final packet of the current flight
-	hbTimer    sim.Timer      // one-shot heartbeat, rescheduled on every send
-	tickTimer  sim.Timer      // periodic window re-evaluation, re-armed in place
+	lastSendAt  time.Duration
+	pending     pendingPacket // buffered final packet of the current flight
+	havePending bool
+	hbTimer     sim.Timer // one-shot heartbeat, rescheduled on every send
+	tickTimer   sim.Timer // periodic window re-evaluation, re-armed in place
 
 	// tickFn and hbFn are the timer callbacks, built once in NewSender so
 	// re-arming a timer does not allocate a fresh method value per firing.
@@ -117,20 +121,46 @@ const probeHeadroom = 4
 
 // NewSender creates the sender and starts its tick and heartbeat timers.
 func NewSender(cfg SenderConfig) *Sender {
-	cfg = cfg.withDefaults()
-	if cfg.Clock == nil || cfg.Conn == nil {
-		panic("transport: SenderConfig requires Clock and Conn")
-	}
 	s := &Sender{
-		cfg:        cfg,
 		hdrBuf:     make([]byte, 0, protocol.HeaderSize),
 		fcParseBuf: make([]uint32, 0, protocol.MaxForecastTicks),
 	}
 	s.tickFn = s.tick
 	s.hbFn = s.heartbeat
+	s.Reset(cfg)
+	return s
+}
+
+// Reset restores the sender to its freshly constructed state under a new
+// configuration, retaining every buffer, so a pooled experiment world can
+// reuse one sender across runs with no allocation. It must be called at a
+// world boundary: the clock has been reset (any old timer handles are
+// stale) and no packet this sender produced is still referenced. The tick
+// and heartbeat timers are re-armed in the same order NewSender arms them,
+// so a reused sender consumes the same event-queue priorities as a fresh
+// one — reused worlds stay byte-identical.
+func (s *Sender) Reset(cfg SenderConfig) {
+	cfg = cfg.withDefaults()
+	if cfg.Clock == nil || cfg.Conn == nil {
+		panic("transport: SenderConfig requires Clock and Conn")
+	}
+	s.cfg = cfg
+	s.bytesSent = 0
+	s.sentLog = s.sentLog[:0]
+	s.throwaway = 0
+	s.haveForecast = false
+	s.forecast = s.forecast[:0]
+	s.forecastTick, s.forecastStamp = 0, 0
+	s.forecastPos = 0
+	s.queueEst = 0
+	s.lastSendAt = 0
+	s.pending = pendingPacket{}
+	s.havePending = false
+	s.packetsSent, s.heartbeats, s.feedbacksSeen, s.probesSent = 0, 0, 0, 0
+	s.tickTimer.Stop() // no-ops after a clock reset (stale handles)
+	s.hbTimer.Stop()
 	s.tickTimer = s.cfg.Clock.After(cfg.Tick, s.tickFn)
 	s.hbTimer = s.cfg.Clock.After(cfg.HeartbeatInterval, s.hbFn)
-	return s
 }
 
 // BytesSent returns the total wire bytes sent (the sequence number).
@@ -335,22 +365,19 @@ func (s *Sender) sendPacket(data []byte, wireLen int, flags uint8, ttn time.Dura
 		Throwaway:  s.computeThrowaway(now),
 		TimeToNext: ttn,
 	}
-	payload, err := h.Marshal(s.hdrBuf[:0])
+	pkt := s.cfg.Pool.Get()
+	payload, err := h.Marshal(pkt.Payload[:0])
 	if err != nil {
 		panic("transport: header marshal failed: " + err.Error())
 	}
 	if len(data) > 0 {
 		payload = append(payload, data...)
 	}
-	pktPayload := make([]byte, len(payload))
-	copy(pktPayload, payload)
-	pkt := &network.Packet{
-		Flow:    s.cfg.Flow,
-		Seq:     int64(h.Seq),
-		Size:    protocol.HeaderSize + wireLen,
-		Payload: pktPayload,
-		SentAt:  now,
-	}
+	pkt.Flow = s.cfg.Flow
+	pkt.Seq = int64(h.Seq)
+	pkt.Size = protocol.HeaderSize + wireLen
+	pkt.Payload = payload
+	pkt.SentAt = now
 	s.sentLog = append(s.sentLog, sentRecord{at: now, seq: s.bytesSent})
 	s.bytesSent += uint64(pkt.Size)
 	s.queueEst += int64(pkt.Size) // §3.5: every byte sent increments the estimate
@@ -362,16 +389,18 @@ func (s *Sender) sendPacket(data []byte, wireLen int, flags uint8, ttn time.Dura
 		return
 	}
 	s.packetsSent++
-	s.pending = &pendingPacket{pkt: pkt, hdr: h}
+	s.pending = pendingPacket{pkt: pkt, hdr: h}
+	s.havePending = true
 }
 
 // flushPending sends the buffered packet, patching its time-to-next.
 func (s *Sender) flushPending(ttn time.Duration) {
-	if s.pending == nil {
+	if !s.havePending {
 		return
 	}
 	p := s.pending
-	s.pending = nil
+	s.pending = pendingPacket{}
+	s.havePending = false
 	if ttn > 0 {
 		p.hdr.TimeToNext = ttn
 		payload, err := p.hdr.Marshal(s.hdrBuf[:0])

@@ -36,7 +36,7 @@ func marshalFrame(pkt *network.Packet) []byte {
 	return buf
 }
 
-func unmarshalFrame(b []byte) (*network.Packet, bool) {
+func unmarshalFrame(pool *network.Pool, b []byte) (*network.Packet, bool) {
 	if len(b) < frameHeaderSize {
 		return nil, false
 	}
@@ -44,13 +44,13 @@ func unmarshalFrame(b []byte) (*network.Packet, bool) {
 	if len(b) < frameHeaderSize+plen {
 		return nil, false
 	}
-	return &network.Packet{
-		Flow:    binary.BigEndian.Uint32(b[0:]),
-		Seq:     int64(binary.BigEndian.Uint64(b[4:])),
-		Size:    int(binary.BigEndian.Uint32(b[12:])),
-		SentAt:  time.Duration(binary.BigEndian.Uint64(b[16:])),
-		Payload: append([]byte(nil), b[frameHeaderSize:frameHeaderSize+plen]...),
-	}, true
+	pkt := pool.Get()
+	pkt.Flow = binary.BigEndian.Uint32(b[0:])
+	pkt.Seq = int64(binary.BigEndian.Uint64(b[4:]))
+	pkt.Size = int(binary.BigEndian.Uint32(b[12:]))
+	pkt.SentAt = time.Duration(binary.BigEndian.Uint64(b[16:]))
+	pkt.Payload = append(pkt.Payload[:0], b[frameHeaderSize:frameHeaderSize+plen]...)
+	return pkt, true
 }
 
 // minBacklog is the backlog floor (bytes) applied before the first forecast
@@ -190,9 +190,11 @@ func (in *Ingress) NextPayload(max int) ([]byte, int) {
 type Egress struct {
 	clock   sim.Clock
 	handler network.Handler
+	pool    *network.Pool
 
 	deliveries []link.Delivery
 	record     bool
+	onDelivery func(link.Delivery)
 	badFrames  int64
 }
 
@@ -209,27 +211,50 @@ func NewEgress(clock sim.Clock, handler network.Handler) *Egress {
 // RecordDeliveries enables the per-client-packet delivery log.
 func (e *Egress) RecordDeliveries(on bool) { e.record = on }
 
+// OnDelivery registers fn to observe each client-packet Delivery record as
+// it is reconstructed (the streaming-metrics hook, mirroring
+// link.OnDelivery). nil removes the observer.
+func (e *Egress) OnDelivery(fn func(link.Delivery)) { e.onDelivery = fn }
+
+// UsePool directs reconstructed client packets to the given arena (world
+// reuse); nil reverts to heap allocation.
+func (e *Egress) UsePool(p *network.Pool) { e.pool = p }
+
 // Deliveries returns the recorded client-packet delivery log.
 func (e *Egress) Deliveries() []link.Delivery { return e.deliveries }
+
+// TakeDeliveries returns the recorded log and transfers ownership to the
+// caller (mirroring link.TakeDeliveries).
+func (e *Egress) TakeDeliveries() []link.Delivery {
+	d := e.deliveries
+	e.deliveries = nil
+	return d
+}
 
 // BadFrames counts undecodable frames.
 func (e *Egress) BadFrames() int64 { return e.badFrames }
 
 // Deliver consumes one Sprout payload (a tunnel frame).
 func (e *Egress) Deliver(payload []byte) {
-	pkt, ok := unmarshalFrame(payload)
+	pkt, ok := unmarshalFrame(e.pool, payload)
 	if !ok {
 		e.badFrames++
 		return
 	}
-	if e.record {
-		e.deliveries = append(e.deliveries, link.Delivery{
+	if e.record || e.onDelivery != nil {
+		d := link.Delivery{
 			SentAt:      pkt.SentAt,
 			DeliveredAt: e.clock.Now(),
 			Size:        pkt.Size,
 			Seq:         pkt.Seq,
 			Flow:        pkt.Flow,
-		})
+		}
+		if e.record {
+			e.deliveries = append(e.deliveries, d)
+		}
+		if e.onDelivery != nil {
+			e.onDelivery(d)
+		}
 	}
 	if e.handler != nil {
 		e.handler(pkt)

@@ -23,7 +23,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		SentAt:  42 * time.Millisecond,
 		Payload: []byte("hello client packet"),
 	}
-	got, ok := unmarshalFrame(marshalFrame(pkt))
+	got, ok := unmarshalFrame(nil, marshalFrame(pkt))
 	if !ok {
 		t.Fatal("unmarshal failed")
 	}
@@ -33,7 +33,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	if string(got.Payload) != "hello client packet" {
 		t.Errorf("payload = %q", got.Payload)
 	}
-	if _, ok := unmarshalFrame([]byte{1, 2, 3}); ok {
+	if _, ok := unmarshalFrame(nil, []byte{1, 2, 3}); ok {
 		t.Error("short frame accepted")
 	}
 }
@@ -54,7 +54,7 @@ func TestIngressRoundRobin(t *testing.T) {
 		if n == 0 {
 			break
 		}
-		pkt, _ := unmarshalFrame(frame)
+		pkt, _ := unmarshalFrame(nil, frame)
 		order = append(order, pkt.Flow)
 	}
 	want := []uint32{1, 2, 1, 2, 1, 2}
@@ -84,7 +84,7 @@ func TestIngressBacklogLimitDropsLongestHead(t *testing.T) {
 	if n == 0 {
 		t.Fatal("no frame")
 	}
-	pkt, _ := unmarshalFrame(frame)
+	pkt, _ := unmarshalFrame(nil, frame)
 	if pkt.Seq != 1 {
 		t.Errorf("first served seq = %d, want 1 (head dropped)", pkt.Seq)
 	}
@@ -107,7 +107,7 @@ func TestIngressDropsFromLongestQueue(t *testing.T) {
 		if n == 0 {
 			break
 		}
-		pkt, _ := unmarshalFrame(frame)
+		pkt, _ := unmarshalFrame(nil, frame)
 		if pkt.Flow == 1 && pkt.Seq == 100 {
 			found = true
 		}
@@ -125,7 +125,7 @@ func TestIngressOversizedFrameDropped(t *testing.T) {
 	if n == 0 {
 		t.Fatal("expected the second frame")
 	}
-	pkt, _ := unmarshalFrame(frame)
+	pkt, _ := unmarshalFrame(nil, frame)
 	if pkt.Seq != 2 {
 		t.Errorf("served seq %d, want 2 (oversized dropped)", pkt.Seq)
 	}

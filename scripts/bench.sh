@@ -2,7 +2,7 @@
 # bench.sh — run the perf-tracking benchmarks and emit BENCH_<PR>.json.
 #
 # Usage:
-#   scripts/bench.sh              # writes BENCH_3.json in the repo root
+#   scripts/bench.sh              # writes BENCH_4.json in the repo root
 #   scripts/bench.sh out.json     # custom output path
 #   BENCHTIME=200ms scripts/bench.sh   # quick smoke (CI uses this)
 #
@@ -10,16 +10,24 @@
 # Bayesian filter tick, the cautious forecast, the event loop (fresh-timer
 # and reused-timer patterns) — plus one macro-benchmark that pushes a
 # reduced scheme×link matrix through the parallel engine. The "baseline"
-# block holds the pre-PR-3 numbers those were measured against (recorded
-# on the PR-3 development machine), so the perf trajectory stays auditable
-# across PRs.
+# block holds the pre-PR-4 (PR-3 recorded) numbers those were measured
+# against, so the perf trajectory stays auditable across PRs.
+#
+# The matrix benchmark's allocs/op is guarded: PR 4's experiment-layer
+# rework (per-worker world reuse, streaming metrics, zero-copy traces) took
+# it from 335,099 to MATRIX_ALLOCS_RECORDED, and a regression of more than
+# 20% over the recorded value fails this script — CI's bench-smoke step
+# turns red instead of silently eroding the win.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_3.json}
+OUT=${1:-BENCH_4.json}
 BENCHTIME=${BENCHTIME:-1s}
 MATRIX_BENCHTIME=${MATRIX_BENCHTIME:-1x}
+# allocs/op of BenchmarkMatrixParallel recorded on the PR-4 dev machine
+# (deterministic at -benchtime 1x); the guard allows +20%.
+MATRIX_ALLOCS_RECORDED=${MATRIX_ALLOCS_RECORDED:-21220}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
@@ -33,7 +41,7 @@ echo "bench: macro matrix (benchtime $MATRIX_BENCHTIME)..." >&2
 go test -run '^$' -bench 'BenchmarkMatrixParallel$' \
     -benchmem -benchtime "$MATRIX_BENCHTIME" . | tee -a "$TMP" >&2
 
-awk -v out="$OUT" '
+awk -v out="$OUT" -v guard="$MATRIX_ALLOCS_RECORDED" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
@@ -45,13 +53,20 @@ awk -v out="$OUT" '
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 3,\n"
-    printf "  \"description\": \"allocation-free event loop + inference fast paths\",\n"
+    printf "  \"pr\": 4,\n"
+    printf "  \"description\": \"experiment-layer throughput: per-worker world reuse, streaming metrics, zero-copy trace sharing\",\n"
     printf "  \"baseline\": {\n"
-    printf "    \"comment\": \"pre-PR-3 numbers at benchtime 2s on the PR-3 dev machine\",\n"
-    printf "    \"BenchmarkCoreTick\": {\"ns_per_op\": 39113, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkCoreForecast\": {\"ns_per_op\": 234525, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkLoopThroughput\": {\"ns_per_op\": 85.90, \"allocs_per_op\": 1}\n"
+    printf "    \"comment\": \"PR-3 recorded numbers (BENCH_3.json) on the PR-3/PR-4 dev machine\",\n"
+    printf "    \"BenchmarkCoreTick\": {\"ns_per_op\": 16818, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkCoreForecast\": {\"ns_per_op\": 106373, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkLoopThroughput\": {\"ns_per_op\": 13.83, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkLoopTimerReuse\": {\"ns_per_op\": 20.03, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkMatrixParallel\": {\"ns_per_op\": 1508648070, \"allocs_per_op\": 335099}\n"
+    printf "  },\n"
+    printf "  \"guard\": {\n"
+    printf "    \"comment\": \"bench-smoke fails if matrix allocs/op regresses >20%% over the PR-4 recorded value\",\n"
+    printf "    \"BenchmarkMatrixParallel_allocs_per_op_recorded\": %d,\n", guard
+    printf "    \"BenchmarkMatrixParallel_allocs_per_op_max\": %d\n", int(guard * 1.2)
     printf "  },\n"
     printf "  \"results\": {\n"
     n = 0
@@ -74,3 +89,21 @@ END {
 
 echo "bench: wrote $OUT" >&2
 cat "$OUT"
+
+# Alloc-regression gate on the experiment layer: the matrix benchmark is
+# deterministic in allocs/op, so a >20% excursion is a real regression,
+# not noise.
+MATRIX_ALLOCS=$(awk '/^BenchmarkMatrixParallel/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") print $i
+}' "$TMP" | head -n1)
+if [ -z "${MATRIX_ALLOCS:-}" ]; then
+    # A gate that cannot parse its input must fail, not silently pass.
+    echo "bench: FAIL — could not extract BenchmarkMatrixParallel allocs/op from benchmark output" >&2
+    exit 1
+fi
+LIMIT=$(( MATRIX_ALLOCS_RECORDED + MATRIX_ALLOCS_RECORDED / 5 ))
+if [ "$MATRIX_ALLOCS" -gt "$LIMIT" ]; then
+    echo "bench: FAIL — BenchmarkMatrixParallel allocs/op $MATRIX_ALLOCS exceeds guard $LIMIT (recorded $MATRIX_ALLOCS_RECORDED +20%)" >&2
+    exit 1
+fi
+echo "bench: matrix allocs/op $MATRIX_ALLOCS within guard $LIMIT" >&2
