@@ -10,12 +10,15 @@
 package sprout_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
 
 	"sprout"
+	"sprout/internal/engine"
 	"sprout/internal/harness"
+	"sprout/internal/scenario"
 )
 
 // benchOpt keeps macro-bench runs short but past warmup. Workers: 0 runs
@@ -192,6 +195,42 @@ func benchmarkMatrix(b *testing.B, workers int) {
 
 func BenchmarkMatrixSerial(b *testing.B)   { benchmarkMatrix(b, 1) }
 func BenchmarkMatrixParallel(b *testing.B) { benchmarkMatrix(b, 0) }
+
+// BenchmarkStreamingMatrix pushes the same reduced grid through streaming
+// delivery processes instead of materialized traces: 3 schemes × 4
+// downlinks at 30 s, every opportunity pulled on demand. Tracked in
+// BENCH_5.json with an allocs/op guard like BenchmarkMatrixParallel — the
+// streaming path must stay allocation-flat as it evolves.
+func BenchmarkStreamingMatrix(b *testing.B) {
+	pairs := [][2]string{
+		{"Verizon-LTE-down", "Verizon-LTE-up"},
+		{"Verizon-3G-down", "Verizon-3G-up"},
+		{"ATT-LTE-down", "ATT-LTE-up"},
+		{"TMobile-3G-down", "TMobile-3G-up"},
+	}
+	var specs []scenario.Spec
+	for _, scheme := range []string{"sprout", "cubic", "skype"} {
+		for _, p := range pairs {
+			specs = append(specs, scenario.Spec{
+				Scheme:          scheme,
+				Process:         &scenario.ProcessSpec{Model: p[0]},
+				FeedbackProcess: &scenario.ProcessSpec{Model: p[1]},
+				Duration:        scenario.Duration(30 * time.Second),
+				Skip:            scenario.Duration(8 * time.Second),
+				Seed:            1,
+			})
+		}
+	}
+	var stats engine.Stats
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, stats, err = scenario.RunAll(context.Background(), specs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stats.Workers), "workers")
+}
 
 // BenchmarkCoreTick measures one inference update (evolve+observe), the
 // work Sprout does every 20 ms. The paper reports <5% of a 2012 core.

@@ -12,7 +12,12 @@
 // Usage:
 //
 //	cellsim -a :9001 -b :9002 -down vzw-down.trace -up vzw-up.trace
-//	cellsim -a :9001 -b :9002 -gen Verizon-LTE -loss 0.05 -codel
+//	cellsim -a :9001 -b :9002 -gen "Verizon LTE" -loss 0.05 -codel
+//	cellsim -a :9001 -b :9002 -gen "Verizon LTE" -stream
+//
+// With -stream, each direction is shaped by the streaming §3.1 link model
+// itself instead of a pre-materialized trace: the emulator can run
+// indefinitely at O(1) trace memory (-gendur is ignored).
 package main
 
 import (
@@ -38,7 +43,8 @@ func main() {
 	downFile := flag.String("down", "", "mahimahi trace for A->B (downlink)")
 	upFile := flag.String("up", "", "mahimahi trace for B->A (uplink)")
 	gen := flag.String("gen", "", "generate traces for a canonical network instead (e.g. \"Verizon LTE\")")
-	genDur := flag.Duration("gendur", 10*time.Minute, "generated trace length")
+	genDur := flag.Duration("gendur", 10*time.Minute, "generated trace length (ignored with -stream)")
+	stream := flag.Bool("stream", false, "with -gen: drive each direction by the streaming link model (unbounded runtime, O(1) trace memory) instead of materializing -gendur of trace")
 	prop := flag.Duration("prop", 20*time.Millisecond, "one-way propagation delay per direction")
 	loss := flag.Float64("loss", 0, "Bernoulli loss probability per direction")
 	useCodel := flag.Bool("codel", false, "apply CoDel on both queues")
@@ -47,10 +53,38 @@ func main() {
 	parallel := flag.Int("parallel", 0, "trace-generation workers for -gen: 0 = all cores, 1 = serial")
 	flag.Parse()
 
-	down, up, err := loadTraces(*downFile, *upFile, *gen, *genDur, *seed, *parallel)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cellsim:", err)
-		os.Exit(1)
+	// Each direction's opportunity source: a materialized trace, or (with
+	// -stream) the streaming model pulled on demand.
+	type shaping struct {
+		name    string
+		meanBps float64
+		trace   *trace.Trace
+		process trace.DeliveryProcess
+		seed    int64
+	}
+	var downSrc, upSrc shaping
+	if *stream {
+		if *gen == "" {
+			fmt.Fprintln(os.Stderr, "cellsim: -stream requires -gen")
+			os.Exit(2)
+		}
+		pair, ok := findNetwork(*gen)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cellsim: unknown network %q\n", *gen)
+			os.Exit(1)
+		}
+		downSrc = shaping{name: pair.Down.Name, meanBps: pair.Down.MeanRate * trace.MTU * 8,
+			process: pair.Down.Process(), seed: engine.DeriveSeed(*seed, pair.Name, "down")}
+		upSrc = shaping{name: pair.Up.Name, meanBps: pair.Up.MeanRate * trace.MTU * 8,
+			process: pair.Up.Process(), seed: engine.DeriveSeed(*seed, pair.Name, "up")}
+	} else {
+		down, up, err := loadTraces(*downFile, *upFile, *gen, *genDur, *seed, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cellsim:", err)
+			os.Exit(1)
+		}
+		downSrc = shaping{name: down.Name, meanBps: down.MeanRateBps(), trace: down}
+		upSrc = shaping{name: up.Name, meanBps: up.MeanRateBps(), trace: up}
 	}
 
 	clock := realtime.New()
@@ -58,13 +92,19 @@ func main() {
 	exitOn(err)
 	connB, err := udp.Listen(clock, *addrB)
 	exitOn(err)
-	fmt.Fprintf(os.Stderr, "cellsim: A=%s (downlink %s, %.0f kbps) B=%s (uplink %s, %.0f kbps)\n",
-		connA.LocalAddr(), down.Name, down.MeanRateBps()/1000,
-		connB.LocalAddr(), up.Name, up.MeanRateBps()/1000)
+	mode := ""
+	if *stream {
+		mode = ", streaming"
+	}
+	fmt.Fprintf(os.Stderr, "cellsim: A=%s (downlink %s, %.0f kbps%s) B=%s (uplink %s, %.0f kbps%s)\n",
+		connA.LocalAddr(), downSrc.name, downSrc.meanBps/1000, mode,
+		connB.LocalAddr(), upSrc.name, upSrc.meanBps/1000, mode)
 
-	mkLink := func(tr *trace.Trace, out *udp.Conn, seedOff int64) *link.Link {
+	mkLink := func(src shaping, out *udp.Conn, seedOff int64) *link.Link {
 		cfg := link.Config{
-			Trace:            tr,
+			Trace:            src.trace,
+			Process:          src.process,
+			ProcessSeed:      src.seed,
 			PropagationDelay: *prop,
 			LossRate:         *loss,
 		}
@@ -80,8 +120,8 @@ func main() {
 	// timers fire on it.
 	var downLink, upLink *link.Link
 	clock.Do(func() {
-		downLink = mkLink(down, connB, 1)
-		upLink = mkLink(up, connA, 2)
+		downLink = mkLink(downSrc, connB, 1)
+		upLink = mkLink(upSrc, connA, 2)
 	})
 
 	ingress := func(l *link.Link) network.Handler {
@@ -99,12 +139,19 @@ func main() {
 	select {} // run until killed
 }
 
+func findNetwork(name string) (trace.NetworkPair, bool) {
+	for _, p := range trace.CanonicalNetworks() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return trace.NetworkPair{}, false
+}
+
 func loadTraces(downFile, upFile, gen string, genDur time.Duration, seed int64, parallel int) (down, up *trace.Trace, err error) {
 	if gen != "" {
-		for _, p := range trace.CanonicalNetworks() {
-			if p.Name == gen {
-				return generateTraces(p, genDur, seed, parallel)
-			}
+		if p, ok := findNetwork(gen); ok {
+			return generateTraces(p, genDur, seed, parallel)
 		}
 		return nil, nil, fmt.Errorf("unknown network %q", gen)
 	}

@@ -212,14 +212,19 @@ func runListSchemes() {
 	}
 	fmt.Printf("\ncanonical links (scenario \"link\" field): %s\n",
 		strings.Join(scenario.NetworkNames(), ", "))
+	fmt.Printf("streaming models (scenario \"process\"/\"feedback_process\" \"model\" field): %s\n",
+		strings.Join(scenario.ModelNames(), ", "))
 }
 
 // runScenarioFile executes every spec in a JSON scenario file through the
 // parallel engine. CLI -duration/-skip/-seed fill only fields the file
-// leaves unset.
+// leaves unset. Streaming specs (a "process" stanza) may exceed any
+// canonical trace length: -duration 1h costs the same trace memory as
+// -duration 150s, which the trace-memory summary line makes visible.
 func runScenarioFile(path string, opt harness.Options) {
 	specs, err := scenario.LoadFile(path)
 	check(err)
+	streaming := 0
 	for i := range specs {
 		if specs[i].Duration == 0 {
 			specs[i].Duration = scenario.Duration(opt.Duration)
@@ -230,10 +235,17 @@ func runScenarioFile(path string, opt harness.Options) {
 		if specs[i].Seed == 0 {
 			specs[i].Seed = opt.Seed
 		}
+		if specs[i].Process != nil {
+			streaming++
+		}
 	}
-	results, stats, err := scenario.RunAllOn(context.Background(), opt.Engine, specs)
+	results, stats, cache, err := scenario.RunAllCached(context.Background(), opt.Engine, specs)
 	check(err)
 	fmt.Fprintf(os.Stderr, "scenarios: %s\n", stats)
+	pairs, ops, bytes := scenario.TraceMemory(cache)
+	fmt.Fprintf(os.Stderr,
+		"trace memory: %d materialized pair(s), %d opportunities (%.2f MiB); %d streaming scenario(s) at O(1)\n",
+		pairs, ops, float64(bytes)/(1<<20), streaming)
 
 	header(fmt.Sprintf("Scenarios from %s", path))
 	fmt.Printf("%-40s %12s %16s %6s %12s\n", "scenario", "tput (kbps)", "self-delay (ms)", "util", "delay95 (ms)")

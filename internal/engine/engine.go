@@ -30,6 +30,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -255,7 +256,8 @@ type cacheEntry struct {
 	once sync.Once
 	key  string // for diagnostics; set at insertion
 	val  any
-	ok   bool // gen returned normally; false means it panicked
+	ok   bool        // gen returned normally; false means it panicked
+	done atomic.Bool // set after gen completes; gates Range visibility
 }
 
 // NewCache returns an empty, unbounded cache.
@@ -316,6 +318,7 @@ func (c *Cache) wait(e *cacheEntry, gen func() any) any {
 	e.once.Do(func() {
 		e.val = gen()
 		e.ok = true
+		e.done.Store(true)
 	})
 	if !e.ok {
 		// gen panicked (in this goroutine the panic is already
@@ -324,6 +327,22 @@ func (c *Cache) wait(e *cacheEntry, gen func() any) any {
 		panic(fmt.Sprintf("engine: cache generator for key %q panicked", e.key))
 	}
 	return e.val
+}
+
+// Range calls fn for every entry whose value has been produced, in
+// unspecified order, under the cache lock — fn must be quick and must not
+// call back into the cache. Entries still generating are skipped (their
+// values do not exist yet). Like Counts, Range is advisory: it exists so
+// callers can report what the cache retains (e.g. materialized-trace
+// memory in experiment summaries), not for synchronization.
+func (c *Cache) Range(fn func(key string, val any)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if e.done.Load() {
+			fn(k, e.val)
+		}
+	}
 }
 
 // NoteHit records an externally served hit: a caller that keeps its own

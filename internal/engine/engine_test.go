@@ -344,6 +344,36 @@ func TestCacheGetBytesSharesNamespace(t *testing.T) {
 	}
 }
 
+// TestCacheRange: Range visits exactly the entries whose values exist,
+// and never an entry still mid-generation.
+func TestCacheRange(t *testing.T) {
+	c := NewCache()
+	c.Get("a", func() any { return 1 })
+	c.GetBytes([]byte("b"), func() any { return 2 })
+
+	// An entry whose generator is still running must be invisible.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Get("slow", func() any {
+		close(started)
+		<-release
+		return 3
+	})
+	<-started
+	got := map[string]any{}
+	c.Range(func(k string, v any) { got[k] = v })
+	if len(got) != 2 || got["a"] != 1 || got["b"] != 2 {
+		t.Errorf("Range = %v, want {a:1 b:2}", got)
+	}
+	close(release)
+	c.Get("slow", func() any { return 0 }) // synchronize: value now exists
+	got = map[string]any{}
+	c.Range(func(k string, v any) { got[k] = v })
+	if len(got) != 3 || got["slow"] != 3 {
+		t.Errorf("Range after completion = %v, want slow:3 present", got)
+	}
+}
+
 func TestCacheDistinctKeys(t *testing.T) {
 	c := NewCache()
 	a := c.Get("a", func() any { return 1 })

@@ -110,6 +110,49 @@ func TestScenarioGoldenHash(t *testing.T) {
 	}
 }
 
+// goldenHandoverHash pins the bit-exact result of the streaming-process
+// scenario family introduced with the DeliveryProcess refactor (PR 5): a
+// Sprout flow riding an LTE→3G handover with a mid-run outage window,
+// driven entirely by on-demand processes (no materialized trace exists
+// anywhere in the run). Recorded when the family was introduced; any
+// drift in the process combinators, the link's pull path or the online
+// omniscient/capacity metrics shows up here.
+const goldenHandoverHash = "cbda0343861567db3fe029df9e2cf9825f4884ed15c3b7d26c421a6e37573623"
+
+// goldenHandoverJSON is the pinned spec, exercised through the JSON
+// process grammar end to end.
+const goldenHandoverJSON = `{
+  "defaults": {"duration": "8s", "skip": "2s", "seed": 7},
+  "scenarios": [
+    {"name": "lte to 3g handover", "scheme": "sprout",
+     "process": {"handover": [
+        {"model": "Verizon-LTE-down", "until": "4s"},
+        {"model": "TMobile-3G-down", "scale": 1.2}
+      ], "outages": [{"start": "6s", "end": "6.5s"}]},
+     "feedback_process": {"model": "Verizon-LTE-up"}}
+  ]
+}`
+
+// TestHandoverGoldenHash asserts the streaming handover scenario produces
+// byte-identical results to the recorded baseline at serial and parallel
+// worker counts.
+func TestHandoverGoldenHash(t *testing.T) {
+	specs, err := scenario.Parse(strings.NewReader(goldenHandoverJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		results, _, err := scenario.RunAll(t.Context(), specs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := hashScenarioResults(results); got != goldenHandoverHash {
+			t.Errorf("workers=%d: handover hash = %s, want %s (streaming outputs drifted from the recorded baseline)",
+				workers, got, goldenHandoverHash)
+		}
+	}
+}
+
 // TestMatrixGoldenHash asserts that the matrix outputs on two canonical
 // links are byte-identical to the pre-PR baseline at a fixed seed, at both
 // serial and parallel worker counts.

@@ -3,8 +3,9 @@
 //
 //   - each arriving packet is delayed by the propagation delay, then
 //     appended to the tail of a FIFO queue;
-//   - the queue drains only at the delivery opportunities recorded in a
-//     trace, each worth MTU (1500) bytes with per-byte accounting
+//   - the queue drains only at delivery opportunities — recorded in a
+//     trace or pulled on demand from a streaming trace.DeliveryProcess —
+//     each worth MTU (1500) bytes with per-byte accounting
 //     (footnote 6: fifteen 100-byte packets leave on one opportunity);
 //   - an opportunity that finds the queue empty is wasted;
 //   - optionally, arriving packets are dropped with a fixed probability
@@ -47,10 +48,21 @@ type Delivery struct {
 
 // Config parameterizes a Link.
 type Config struct {
-	// Trace supplies the delivery opportunities. Required. If the
-	// experiment outlasts the trace, the trace repeats from its start
-	// (mahimahi behaviour).
+	// Trace supplies the delivery opportunities from a materialized
+	// recording. If the experiment outlasts the trace, the trace repeats
+	// from its start (mahimahi behaviour). Exactly one of Trace and
+	// Process must be set.
 	Trace *trace.Trace
+	// Process supplies delivery opportunities on demand instead of from a
+	// materialized trace: the link pulls the next opportunity only when it
+	// needs to schedule it, so runs of any duration hold O(1) trace state.
+	// The link Resets the process with ProcessSeed at New/Reset time, so a
+	// reused process instance honours the world-reuse determinism
+	// contract. The process must emit nondecreasing times and must not be
+	// shared between links.
+	Process trace.DeliveryProcess
+	// ProcessSeed seeds Process at New/Reset; ignored for Trace configs.
+	ProcessSeed int64
 	// PropagationDelay is applied to each packet before it joins the
 	// queue. The paper measures ≈20 ms each way on its cellular paths.
 	PropagationDelay time.Duration
@@ -69,13 +81,20 @@ type Config struct {
 
 // Link is one direction of an emulated cellular path.
 type Link struct {
-	cfg      Config
-	clock    sim.Clock
-	queue    FIFO
-	deq      Dequeuer
-	deliver  network.Handler
-	nextOp   int           // index into trace opportunities
-	wrapBase time.Duration // accumulated offset from trace repetition
+	cfg     Config
+	clock   sim.Clock
+	queue   FIFO
+	deq     Dequeuer
+	deliver network.Handler
+
+	// proc is the active opportunity source. Trace configs stream through
+	// the retained Loop(Replay) below — the same mahimahi wrap semantics
+	// the link used to implement against Trace.Opportunities indices, now
+	// expressed as a composable trace.DeliveryProcess — so Reset allocates
+	// nothing and both config forms share one scheduling path.
+	proc   trace.DeliveryProcess
+	replay trace.Replay
+	looped *trace.Loop
 
 	// The propagation delay is constant, so packets emerge from it in the
 	// order they were submitted. On a virtual-time loop, instead of one
@@ -92,14 +111,15 @@ type Link struct {
 	opFn    func() // built once for the delivery-opportunity schedule
 
 	// Telemetry.
-	deliveries []Delivery
-	recordLog  bool
-	onDelivery func(Delivery) // streaming observer; see OnDelivery
-	delivered  int64          // bytes
-	dropsLoss  int64 // packets dropped by random loss
-	dropsQueue int64 // packets dropped by the queue bound
-	dropsAQM   int64 // packets dropped by the AQM
-	wasted     int64 // opportunities that found an empty queue
+	deliveries    []Delivery
+	recordLog     bool
+	onDelivery    func(Delivery)         // streaming observer; see OnDelivery
+	onOpportunity func(at time.Duration) // see OnOpportunity
+	delivered     int64                  // bytes
+	dropsLoss     int64                  // packets dropped by random loss
+	dropsQueue    int64                  // packets dropped by the queue bound
+	dropsAQM      int64                  // packets dropped by the AQM
+	wasted        int64                  // opportunities that found an empty queue
 
 	// Packet mid-transmission across opportunities (per-byte accounting),
 	// held inline so partial transmissions do not allocate.
@@ -128,8 +148,24 @@ func New(clock sim.Clock, cfg Config, deliver network.Handler) *Link {
 // reset (or while no link event is pending): a reset link then behaves
 // byte-identically to one freshly built with New.
 func (l *Link) Reset(cfg Config, deliver network.Handler) {
-	if cfg.Trace == nil || cfg.Trace.Count() == 0 {
-		panic("link: config requires a non-empty trace")
+	switch {
+	case cfg.Trace != nil && cfg.Process != nil:
+		panic("link: config requires exactly one of Trace and Process")
+	case cfg.Process != nil:
+		cfg.Process.Reset(cfg.ProcessSeed)
+		l.proc = cfg.Process
+	case cfg.Trace != nil:
+		if cfg.Trace.Count() == 0 {
+			panic("link: config requires a non-empty trace")
+		}
+		l.replay.SetTrace(cfg.Trace)
+		if l.looped == nil {
+			l.looped = trace.NewLoop(&l.replay)
+		}
+		l.looped.Reset(0) // replays ignore seeds; this rewinds the wrap state
+		l.proc = l.looped
+	default:
+		panic("link: config requires a Trace or a Process opportunity source")
 	}
 	if cfg.LossRate > 0 && cfg.Rand == nil {
 		panic("link: LossRate requires a Rand source")
@@ -139,11 +175,10 @@ func (l *Link) Reset(cfg Config, deliver network.Handler) {
 		deq = DropTail{}
 	}
 	l.cfg, l.deq, l.deliver = cfg, deq, deliver
-	l.nextOp, l.wrapBase = 0, 0
 	l.queue.Reset()
 	l.arrivals.reset()
 	l.deliveries = l.deliveries[:0]
-	l.recordLog, l.onDelivery = false, nil
+	l.recordLog, l.onDelivery, l.onOpportunity = false, nil, nil
 	l.delivered, l.dropsLoss, l.dropsQueue, l.dropsAQM, l.wasted = 0, 0, 0, 0, 0
 	l.txPkt, l.txSent = nil, 0
 	l.opTimer = sim.Timer{} // any old handle is stale on the reset clock
@@ -160,6 +195,13 @@ func (l *Link) RecordDeliveries(on bool) { l.recordLog = on }
 // this hook instead of retaining an ever-growing log. nil removes the
 // observer.
 func (l *Link) OnDelivery(fn func(Delivery)) { l.onDelivery = fn }
+
+// OnOpportunity registers fn to observe the instant of every delivery
+// opportunity the link services, whether or not any packet used it.
+// Streaming runs use this to accumulate the omniscient-protocol bound and
+// offered capacity online — the role the materialized trace's opportunity
+// slice plays in metrics.Evaluate. nil removes the observer.
+func (l *Link) OnOpportunity(fn func(at time.Duration)) { l.onOpportunity = fn }
 
 // Deliveries returns the recorded delivery log.
 func (l *Link) Deliveries() []Delivery { return l.deliveries }
@@ -251,24 +293,15 @@ func (l *Link) enqueue(pkt *network.Packet) {
 	l.queue.Push(pkt)
 }
 
+// scheduleNextOpportunity pulls the next delivery opportunity from the
+// active process and re-arms the standing timer for it. An exhausted
+// process simply stops the schedule (a wrapped trace never exhausts
+// unless it cannot advance time).
 func (l *Link) scheduleNextOpportunity() {
-	ops := l.cfg.Trace.Opportunities
-	if l.nextOp >= len(ops) {
-		// Repeat the trace, shifting by its duration (mahimahi
-		// semantics). Guard against zero-duration traces.
-		d := l.cfg.Trace.Duration()
-		if d <= 0 {
-			return
-		}
-		l.wrapBase += d
-		l.nextOp = 0
-		// Skip a zero-time first opportunity on wrap so time advances.
-		if ops[0] == 0 && len(ops) > 1 {
-			l.nextOp = 1
-		}
+	at, ok := l.proc.Next()
+	if !ok {
+		return
 	}
-	at := l.wrapBase + ops[l.nextOp]
-	l.nextOp++
 	l.opTimer = sim.Reschedule(l.clock, l.opTimer, at-l.clock.Now(), l.opFn)
 }
 
@@ -277,6 +310,9 @@ func (l *Link) opportunity() {
 	defer l.scheduleNextOpportunity()
 	budget := network.MTU
 	now := l.clock.Now()
+	if l.onOpportunity != nil {
+		l.onOpportunity(now)
+	}
 	progress := false
 	for budget > 0 {
 		if l.txPkt == nil {

@@ -116,6 +116,18 @@ type Accumulator struct {
 
 	omniSegs []stats.Segment // scratch for the omniscient bound
 	finished bool
+
+	// Online omniscient/capacity stream for runs whose opportunity
+	// schedule is never materialized (streaming delivery processes): the
+	// link reports each opportunity instant through ObserveOpportunity,
+	// and these replay exactly the cursor/base recurrence of
+	// omniscientSegments plus the CapacityBits window count.
+	trackOps    bool
+	prop        time.Duration
+	omniCursor  time.Duration
+	omniBase    time.Duration
+	omniHave    bool
+	opsInWindow int64
 }
 
 // Start arms the accumulator for one run over [from, to), clearing per-run
@@ -128,6 +140,7 @@ func (a *Accumulator) Start(from, to time.Duration, flows []uint32) {
 	a.from, a.to = from, to
 	a.agg.reset(from)
 	a.finished = false
+	a.trackOps = false // re-arm per run via TrackOpportunities
 	a.flowIDs = append(a.flowIDs[:0], flows...)
 	a.perFlow = len(flows) > 1
 	if !a.perFlow {
@@ -160,6 +173,49 @@ func (a *Accumulator) Observe(d link.Delivery) {
 	}
 }
 
+// TrackOpportunities arms the online omniscient-bound and capacity
+// stream for a streaming run; call it after Start, before the run. prop
+// is the link's propagation delay (the omniscient protocol's floor).
+// Feed every opportunity instant the link services — including warmup
+// opportunities before the window, which anchor d(from) exactly as the
+// pre-window slice of a materialized trace does — via ObserveOpportunity.
+func (a *Accumulator) TrackOpportunities(prop time.Duration) {
+	a.trackOps = true
+	a.prop = prop
+	a.omniCursor = a.from
+	a.omniBase = 0
+	a.omniHave = false
+	a.opsInWindow = 0
+	a.omniSegs = a.omniSegs[:0]
+}
+
+// ObserveOpportunity folds one delivery-opportunity instant into the
+// omniscient/capacity stream. Instants must arrive in nondecreasing
+// order (the order the link services them). The recurrence is the same
+// arithmetic omniscientSegments applies to a materialized opportunity
+// slice, so the finished bound is bit-identical to the post-hoc path.
+func (a *Accumulator) ObserveOpportunity(at time.Duration) {
+	if at < a.from {
+		// Before the window: only anchors the bound at d(from).
+		a.omniBase = at
+		a.omniHave = true
+		return
+	}
+	if at >= a.to {
+		return
+	}
+	a.opsInWindow++
+	if at > a.omniCursor && a.omniHave {
+		a.omniSegs = append(a.omniSegs, stats.Segment{
+			Start: (a.omniCursor - a.omniBase + a.prop).Seconds(),
+			Width: (at - a.omniCursor).Seconds(),
+		})
+	}
+	a.omniBase = at
+	a.omniCursor = at
+	a.omniHave = true
+}
+
 // seal closes every stream's tail segment (idempotent).
 func (a *Accumulator) seal() {
 	if a.finished {
@@ -170,18 +226,32 @@ func (a *Accumulator) seal() {
 	for i := range a.flows {
 		a.flows[i].finish(a.to)
 	}
+	if a.trackOps && a.omniHave && a.to > a.omniCursor {
+		a.omniSegs = append(a.omniSegs, stats.Segment{
+			Start: (a.omniCursor - a.omniBase + a.prop).Seconds(),
+			Width: (a.to - a.omniCursor).Seconds(),
+		})
+	}
 }
 
 // Evaluate returns the full §5.1 metric set against the trace that drove
 // the link, exactly as the package-level Evaluate computes it from a log.
 func (a *Accumulator) Evaluate(tr *trace.Trace, prop time.Duration) Result {
 	a.seal()
+	a.omniSegs = omniscientSegments(tr, prop, a.from, a.to, a.omniSegs[:0])
+	return a.finishResult(prop, tr.CapacityBits(a.from, a.to))
+}
+
+// finishResult assembles the Result from the sealed aggregate stream plus
+// the omniscient segments and offered capacity — one block of arithmetic
+// shared by the materialized and streaming paths, so they cannot drift
+// apart.
+func (a *Accumulator) finishResult(prop time.Duration, capBits int64) Result {
 	r := Result{
 		ThroughputBps: a.agg.throughputBps(a.from, a.to),
 		Delay95:       a.agg.delay(0.95),
 		MeanDelay:     a.agg.meanDelay(),
 	}
-	a.omniSegs = omniscientSegments(tr, prop, a.from, a.to, a.omniSegs[:0])
 	if len(a.omniSegs) == 0 {
 		r.Omniscient95 = prop
 	} else {
@@ -191,12 +261,25 @@ func (a *Accumulator) Evaluate(tr *trace.Trace, prop time.Duration) Result {
 	if r.SelfInflicted95 < 0 {
 		r.SelfInflicted95 = 0
 	}
-	capBits := tr.CapacityBits(a.from, a.to)
 	if capBits > 0 {
 		r.Utilization = r.ThroughputBps * (a.to - a.from).Seconds() / float64(capBits)
 	}
 	r.DeliveredBytes = a.agg.bytes
 	return r
+}
+
+// EvaluateStreaming returns the full §5.1 metric set for a streaming run,
+// with the omniscient bound and offered capacity taken from the
+// opportunity stream fed through ObserveOpportunity instead of a
+// materialized trace. Fed the same opportunity instants a trace holds, it
+// returns bit-identical results to Evaluate on that trace
+// (TestStreamingOpportunitiesMatchSlicePath).
+func (a *Accumulator) EvaluateStreaming() Result {
+	if !a.trackOps {
+		panic("metrics: EvaluateStreaming without TrackOpportunities")
+	}
+	a.seal()
+	return a.finishResult(a.prop, a.opsInWindow*trace.MTU*8)
 }
 
 // Delay95 returns the aggregate 95% end-to-end delay over all deliveries.

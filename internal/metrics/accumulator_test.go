@@ -97,6 +97,66 @@ func TestAccumulatorMatchesSlicePath(t *testing.T) {
 	}
 }
 
+// randomTrace builds a random opportunity schedule with bursts, gaps and
+// duplicate instants, long enough to straddle any test window.
+func randomTrace(rng *rand.Rand, name string) *trace.Trace {
+	tr := &trace.Trace{Name: name}
+	at := time.Duration(0)
+	for at < 12*time.Second {
+		at += time.Duration(rng.Intn(60)) * time.Millisecond // 0 = duplicate instant
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			tr.Opportunities = append(tr.Opportunities, at)
+		}
+	}
+	return tr
+}
+
+// TestStreamingOpportunitiesMatchSlicePath asserts the online
+// omniscient/capacity stream is bit-identical to the materialized-trace
+// path: feeding the trace's opportunity instants one at a time through
+// ObserveOpportunity and finishing with EvaluateStreaming equals
+// Evaluate(tr) on every field, across random traces, logs and windows.
+func TestStreamingOpportunitiesMatchSlicePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	flows := []uint32{1, 2, 7}
+	for trial := 0; trial < 50; trial++ {
+		tr := randomTrace(rng, "streamed")
+		log := randomLog(rng, 30+rng.Intn(400), flows)
+		from := time.Duration(rng.Intn(2000)) * time.Millisecond
+		to := from + time.Duration(1+rng.Intn(8000))*time.Millisecond
+		prop := time.Duration(rng.Intn(40)) * time.Millisecond
+
+		var a Accumulator
+		a.Start(from, to, flows)
+		a.TrackOpportunities(prop)
+		li, oi := 0, 0
+		// Interleave deliveries and opportunities in time order, the way
+		// a live run produces them (relative order of same-instant events
+		// must not matter for the result).
+		for li < len(log) || oi < tr.Count() {
+			if oi >= tr.Count() || (li < len(log) && log[li].DeliveredAt <= tr.Opportunities[oi]) {
+				a.Observe(log[li])
+				li++
+			} else {
+				a.ObserveOpportunity(tr.Opportunities[oi])
+				oi++
+			}
+		}
+		got := a.EvaluateStreaming()
+
+		var b Accumulator
+		b.Start(from, to, flows)
+		for _, d := range log {
+			b.Observe(d)
+		}
+		want := b.Evaluate(tr, prop)
+		if got != want {
+			t.Fatalf("trial %d: streaming %+v != materialized %+v", trial, got, want)
+		}
+	}
+}
+
 // TestAccumulatorSingleFlowUsesAggregate pins the historical single-flow
 // fast path: with one tracked flow, the flow's metrics are the aggregate
 // stream's (the whole log is that flow's log).

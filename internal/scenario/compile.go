@@ -58,10 +58,18 @@ func RunAll(ctx context.Context, specs []Spec, workers int) ([]Result, engine.St
 // -repeat), so repeated sweeps run allocation-flat. Results are identical
 // to RunAll's.
 func RunAllOn(ctx context.Context, eng *engine.Engine, specs []Spec) ([]Result, engine.Stats, error) {
-	jobs, results, _ := CompileJobs(specs, nil)
+	results, stats, _, err := RunAllCached(ctx, eng, specs)
+	return results, stats, err
+}
+
+// RunAllCached is RunAllOn exposing the run's trace cache, so callers can
+// report what it retains afterwards (TraceMemory): materialized specs
+// populate it, streaming-process specs never touch it.
+func RunAllCached(ctx context.Context, eng *engine.Engine, specs []Spec) ([]Result, engine.Stats, *engine.Cache, error) {
+	jobs, results, cache := CompileJobs(specs, nil)
 	stats, err := eng.Run(ctx, jobs)
 	if err != nil {
-		return nil, stats, fmt.Errorf("scenario: %w", err)
+		return nil, stats, cache, fmt.Errorf("scenario: %w", err)
 	}
-	return results, stats, nil
+	return results, stats, cache, nil
 }

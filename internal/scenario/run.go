@@ -78,17 +78,53 @@ func Run(spec Spec, traces *engine.Cache) (Result, error) {
 
 // runNormalized executes a pre-normalized spec on the given pooled world
 // (the per-worker reuse path; CompileJobs normalizes once at compile time
-// so the hot job body does only simulation work).
+// so the hot job body does only simulation work). Streaming specs skip
+// trace resolution entirely: no materialized trace exists anywhere in
+// their run, and the engine cache is never consulted.
 func runNormalized(norm Spec, traces *engine.Cache, w *world) (Result, error) {
-	data, feedback, err := norm.resolveTraces(traces, w)
-	if err != nil {
-		return Result{}, err
+	if norm.Process == nil {
+		data, feedback, err := norm.resolveTraces(traces, w)
+		if err != nil {
+			return Result{}, err
+		}
+		norm.DataTrace, norm.FeedbackTrace = data, feedback
 	}
-	norm.DataTrace, norm.FeedbackTrace = data, feedback
 	if norm.Tunnel {
 		return runTunnel(norm, w)
 	}
 	return runDirect(norm, w)
+}
+
+// Streaming-process seed derivation, frozen like GenerateTracePair's: the
+// data direction draws the stream a "down" trace generation would, the
+// feedback direction the "up" one. A pure-model process spec is therefore
+// byte-identical to the equivalent materialized down-direction link spec
+// (TestStreamingMatchesMaterialized); an "up" materialized spec swaps
+// which model gets which stream, so its streaming counterpart matches in
+// distribution but not bit-for-bit.
+func processSeeds(seed int64) (data, feedback int64) {
+	return seed*31 + 7, seed*31 + 8
+}
+
+// linkSources resolves the spec's two opportunity sources into link
+// configs: either the materialized trace pair or the world's reusable
+// compiled process instances with their frozen per-direction seeds.
+func linkSources(spec Spec, w *world) (fwd, rev link.Config, err error) {
+	if spec.Process == nil {
+		fwd.Trace, rev.Trace = spec.DataTrace, spec.FeedbackTrace
+		return fwd, rev, nil
+	}
+	dataProc, err := w.processFor(spec.Process)
+	if err != nil {
+		return fwd, rev, err
+	}
+	fbProc, err := w.processFor(spec.FeedbackProcess)
+	if err != nil {
+		return fwd, rev, err
+	}
+	fwd.Process, rev.Process = dataProc, fbProc
+	fwd.ProcessSeed, rev.ProcessSeed = processSeeds(spec.Seed)
+	return fwd, rev, nil
 }
 
 // useCoDel resolves the spec's AQM choice: an explicit override wins,
@@ -187,8 +223,13 @@ func trackFlows(spec Spec, w *world) {
 // runDirect places the flows straight on the emulated path: the layout of
 // every figure and table except §5.7's tunnel comparison.
 func runDirect(spec Spec, w *world) (Result, error) {
+	fwdCfg, revCfg, err := linkSources(spec, w)
+	if err != nil {
+		return Result{}, err
+	}
 	w.begin()
 	duration := time.Duration(spec.Duration)
+	streaming := spec.Process != nil
 
 	var fwdDeq, revDeq link.Dequeuer
 	if spec.useCoDel() {
@@ -200,24 +241,26 @@ func runDirect(spec Spec, w *world) (Result, error) {
 	// package doc for the determinism contract). The +1000/+2000 offsets
 	// are frozen: they are part of the regenerated figures' byte
 	// identity.
-	fwd := w.resetLink(&w.fwd, link.Config{
-		Trace:            spec.DataTrace,
-		PropagationDelay: time.Duration(spec.PropDelay),
-		LossRate:         spec.Loss,
-		Dequeuer:         fwdDeq,
-		Rand:             reseed(&w.fwdRand, spec.Seed+1000),
-	}, w.fwdHandler)
-	rev := w.resetLink(&w.rev, link.Config{
-		Trace:            spec.FeedbackTrace,
-		PropagationDelay: time.Duration(spec.PropDelay),
-		LossRate:         spec.Loss,
-		Dequeuer:         revDeq,
-		Rand:             reseed(&w.revRand, spec.Seed+2000),
-	}, w.revHandler)
+	fwdCfg.PropagationDelay = time.Duration(spec.PropDelay)
+	fwdCfg.LossRate = spec.Loss
+	fwdCfg.Dequeuer = fwdDeq
+	fwdCfg.Rand = reseed(&w.fwdRand, spec.Seed+1000)
+	fwd := w.resetLink(&w.fwd, fwdCfg, w.fwdHandler)
+	revCfg.PropagationDelay = time.Duration(spec.PropDelay)
+	revCfg.LossRate = spec.Loss
+	revCfg.Dequeuer = revDeq
+	revCfg.Rand = reseed(&w.revRand, spec.Seed+2000)
+	rev := w.resetLink(&w.rev, revCfg, w.revHandler)
 
 	// Metrics accumulate as packets cross the link; the raw log is kept
-	// only when the spec asks for it.
+	// only when the spec asks for it. Streaming runs also accumulate the
+	// omniscient bound and offered capacity online, from the opportunity
+	// instants the link services — there is no trace to consult later.
 	trackFlows(spec, w)
+	if streaming {
+		w.acc.TrackOpportunities(time.Duration(spec.PropDelay))
+		fwd.OnOpportunity(w.observeOp)
+	}
 	fwd.OnDelivery(w.observe)
 	fwd.RecordDeliveries(spec.KeepDeliveries)
 
@@ -228,9 +271,11 @@ func runDirect(spec Spec, w *world) (Result, error) {
 	w.onFwd, w.onRev = dispatchData(eps), dispatchFeedback(eps)
 
 	w.loop.Run(duration)
-	res := Result{
-		Spec:    spec,
-		Metrics: w.acc.Evaluate(spec.DataTrace, time.Duration(spec.PropDelay)),
+	res := Result{Spec: spec}
+	if streaming {
+		res.Metrics = w.acc.EvaluateStreaming()
+	} else {
+		res.Metrics = w.acc.Evaluate(spec.DataTrace, time.Duration(spec.PropDelay))
 	}
 	if spec.KeepDeliveries {
 		res.Deliveries = fwd.TakeDeliveries()
@@ -243,6 +288,10 @@ func runDirect(spec Spec, w *world) (Result, error) {
 // Sprout session per direction, per-flow queues with round-robin service
 // and forecast-bounded head drops at the ingress.
 func runTunnel(spec Spec, w *world) (Result, error) {
+	fwdCfg, revCfg, err := linkSources(spec, w)
+	if err != nil {
+		return Result{}, err
+	}
 	w.begin()
 	loop := w.loop
 	duration := time.Duration(spec.Duration)
@@ -254,12 +303,10 @@ func runTunnel(spec Spec, w *world) (Result, error) {
 	var rcvDown, rcvUp *transport.Receiver
 	var sndDown, sndUp *transport.Sender
 
-	fwd := w.resetLink(&w.fwd, link.Config{
-		Trace:            spec.DataTrace,
-		PropagationDelay: time.Duration(spec.PropDelay),
-		LossRate:         spec.Loss,
-		Rand:             reseed(&w.fwdRand, spec.Seed+1000),
-	}, func(p *network.Packet) {
+	fwdCfg.PropagationDelay = time.Duration(spec.PropDelay)
+	fwdCfg.LossRate = spec.Loss
+	fwdCfg.Rand = reseed(&w.fwdRand, spec.Seed+1000)
+	fwd := w.resetLink(&w.fwd, fwdCfg, func(p *network.Packet) {
 		switch p.Flow {
 		case tunnelSessionDown:
 			rcvDown.Receive(p)
@@ -267,12 +314,10 @@ func runTunnel(spec Spec, w *world) (Result, error) {
 			sndUp.Receive(p)
 		}
 	})
-	rev := w.resetLink(&w.rev, link.Config{
-		Trace:            spec.FeedbackTrace,
-		PropagationDelay: time.Duration(spec.PropDelay),
-		LossRate:         spec.Loss,
-		Rand:             reseed(&w.revRand, spec.Seed+2000),
-	}, func(p *network.Packet) {
+	revCfg.PropagationDelay = time.Duration(spec.PropDelay)
+	revCfg.LossRate = spec.Loss
+	revCfg.Rand = reseed(&w.revRand, spec.Seed+2000)
+	rev := w.resetLink(&w.rev, revCfg, func(p *network.Packet) {
 		switch p.Flow {
 		case tunnelSessionDown:
 			sndDown.Receive(p)

@@ -76,6 +76,16 @@ type Spec struct {
 	Link      string `json:"link,omitempty"`
 	Direction string `json:"direction,omitempty"`
 
+	// Process streams the data-direction delivery opportunities from a
+	// composable on-demand process (§3.1 models, handover schedules,
+	// outage windows, rate scaling) instead of a materialized trace: runs
+	// may exceed any canonical trace length at O(1) trace memory.
+	// FeedbackProcess drives the reverse direction; when it is nil, Link
+	// must be set and the canonical pair's opposite-direction model is
+	// used. Mutually exclusive with DataTrace/FeedbackTrace.
+	Process         *ProcessSpec `json:"process,omitempty"`
+	FeedbackProcess *ProcessSpec `json:"feedback_process,omitempty"`
+
 	// Loss applies Bernoulli tail-drop loss on both directions (§5.6).
 	Loss float64 `json:"loss,omitempty"`
 	// CoDel overrides the scheme's AQM default: nil keeps it (only
@@ -134,6 +144,9 @@ func (s Spec) Label() string {
 	label := strings.Join(schemes, " + ")
 	if s.Tunnel {
 		label += " via tunnel"
+	}
+	if s.Process != nil {
+		return label + " on " + s.Process.Label()
 	}
 	where := s.Link
 	if where == "" && s.DataTrace != nil {
@@ -244,13 +257,14 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 	}
 
-	// Resolve the link unless traces are injected directly.
-	if out.DataTrace == nil || out.FeedbackTrace == nil {
+	// Resolve the link unless traces are injected directly or the run
+	// streams its opportunities from a declared process.
+	if out.Process == nil && (out.DataTrace == nil || out.FeedbackTrace == nil) {
 		if out.DataTrace != nil || out.FeedbackTrace != nil {
 			return Spec{}, fmt.Errorf("scenario: DataTrace and FeedbackTrace must be set together")
 		}
 		if out.Link == "" {
-			return Spec{}, fmt.Errorf("scenario: no link named and no traces injected")
+			return Spec{}, fmt.Errorf("scenario: no link named, no traces injected and no process declared")
 		}
 		if _, ok := LookupNetwork(out.Link); !ok {
 			return Spec{}, unknownLinkError(out.Link)
@@ -263,6 +277,53 @@ func (s Spec) Normalize() (Spec, error) {
 	default:
 		return Spec{}, fmt.Errorf("scenario: direction must be \"down\" or \"up\", got %q", out.Direction)
 	}
+
+	// Resolve the streaming-process pair.
+	if out.Process == nil {
+		if out.FeedbackProcess != nil {
+			return Spec{}, fmt.Errorf("scenario: feedback_process without process")
+		}
+		return out, nil
+	}
+	if out.DataTrace != nil || out.FeedbackTrace != nil {
+		return Spec{}, fmt.Errorf("scenario: process and injected traces are mutually exclusive")
+	}
+	if out.Link != "" {
+		// The link only supplies the derived feedback model here, but a
+		// typo must fail as loudly as it does on a materialized spec.
+		if _, ok := LookupNetwork(out.Link); !ok {
+			return Spec{}, unknownLinkError(out.Link)
+		}
+	}
+	if out.Process == out.FeedbackProcess {
+		// One *ProcessSpec means one compiled instance in the worker
+		// memo; two links interleaving pulls from a single stream would
+		// each see half of a wrong sequence. Distinct (even identical-
+		// valued) specs compile to independent instances.
+		return Spec{}, fmt.Errorf("scenario: process and feedback_process must be distinct ProcessSpec values (each link needs its own stream)")
+	}
+	if err := out.Process.validate(); err != nil {
+		return Spec{}, fmt.Errorf("process: %w", err)
+	}
+	if out.FeedbackProcess == nil {
+		// Derive the reverse direction from the named network, mirroring
+		// the trace pair a (Link, Direction) spec would get.
+		if out.Link == "" {
+			return Spec{}, fmt.Errorf("scenario: process needs a feedback_process, or a link to derive one from")
+		}
+		pair, ok := LookupNetwork(out.Link)
+		if !ok {
+			return Spec{}, unknownLinkError(out.Link)
+		}
+		m := pair.Up
+		if out.Direction == "up" {
+			m = pair.Down
+		}
+		out.FeedbackProcess = &ProcessSpec{Model: m.Name}
+	}
+	if err := out.FeedbackProcess.validate(); err != nil {
+		return Spec{}, fmt.Errorf("feedback_process: %w", err)
+	}
 	return out, nil
 }
 
@@ -270,6 +331,17 @@ func (s Spec) Normalize() (Spec, error) {
 func (s Spec) merged(def Spec) Spec {
 	if s.Scheme == "" && len(s.Groups) == 0 {
 		s.Scheme, s.Flows, s.Groups = def.Scheme, def.Flows, def.Groups
+	}
+	if s.Process == nil && s.Link == "" && def.Process != nil {
+		// A spec that names its own link keeps it; otherwise a defaults
+		// process streams for every scenario in the file.
+		s.Process = def.Process
+	}
+	if s.Process != nil && s.FeedbackProcess == nil {
+		// Field-wise, like every other default: a scenario's own
+		// feedback_process survives, the missing half is inherited —
+		// also when the scenario declared its own process.
+		s.FeedbackProcess = def.FeedbackProcess
 	}
 	if s.Link == "" {
 		s.Link = def.Link

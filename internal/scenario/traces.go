@@ -43,11 +43,14 @@ func unknownLinkError(name string) error {
 // GenerateTracePair deterministically generates the data/feedback trace
 // pair for one network and direction. direction is "down" (data on the
 // downlink) or "up". The seed derivation is frozen: changing it changes
-// every regenerated figure.
+// every regenerated figure. It is shared with the streaming path
+// (processSeeds), which is what makes a pure-model process spec
+// byte-identical to the equivalent materialized down-direction spec.
 func GenerateTracePair(pair trace.NetworkPair, direction string, d time.Duration, seed int64) (data, feedback *trace.Trace) {
 	margin := d + 10*time.Second
-	downRng := rand.New(rand.NewSource(seed*31 + 7))
-	upRng := rand.New(rand.NewSource(seed*31 + 8))
+	downSeed, upSeed := processSeeds(seed)
+	downRng := rand.New(rand.NewSource(downSeed))
+	upRng := rand.New(rand.NewSource(upSeed))
 	down := pair.Down.Generate(margin, downRng)
 	up := pair.Up.Generate(margin, upRng)
 	if direction == "up" {
@@ -112,6 +115,28 @@ func (s Spec) resolveTraces(c *engine.Cache, w *world) (data, feedback *trace.Tr
 		return tp.up, tp.down, nil
 	}
 	return tp.down, tp.up, nil
+}
+
+// TraceMemory reports the materialized-trace footprint of a shared trace
+// cache: how many down/up pairs it retains, their total opportunity count
+// and the approximate bytes those opportunity arrays occupy. Streaming
+// process specs never enter the cache — their O(1) state lives in the
+// worker worlds — so this is exactly the memory streaming saves.
+func TraceMemory(c *engine.Cache) (pairs, opportunities int, bytes int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.Range(func(_ string, v any) {
+		tp, ok := v.(tracePair)
+		if !ok {
+			return
+		}
+		pairs++
+		n := tp.down.Count() + tp.up.Count()
+		opportunities += n
+		bytes += int64(n) * 8 // time.Duration per opportunity
+	})
+	return pairs, opportunities, bytes
 }
 
 // worldTraceMemoLimit bounds the per-worker trace memo; past it the memo

@@ -2,12 +2,14 @@ package scenario
 
 import (
 	"math/rand"
+	"time"
 
 	"sprout/internal/engine"
 	"sprout/internal/link"
 	"sprout/internal/metrics"
 	"sprout/internal/network"
 	"sprout/internal/sim"
+	"sprout/internal/trace"
 )
 
 // worldKeyType keys the scenario world in an engine WorkerState.
@@ -53,6 +55,15 @@ type world struct {
 	// generator closure per call, the worker-local hit costs nothing.
 	traceMemo map[string]tracePair
 
+	// procMemo holds this worker's compiled streaming-process instances,
+	// keyed by the normalized spec's *ProcessSpec identity (stable across
+	// every run of one compiled job). The link Resets the instance with
+	// the spec seed at run start, so reuse replays the exact stream a
+	// fresh instance would produce — the process-world analogue of the
+	// trace cache, holding state machines instead of opportunity arrays.
+	procMemo  map[*ProcessSpec]trace.DeliveryProcess
+	observeOp func(time.Duration) // standing acc.ObserveOpportunity ref
+
 	// flowArena amortizes Result.Flows allocations: each result takes a
 	// fresh sub-slice (results outlive the world's runs, so slices are
 	// never reused); exhausted blocks are abandoned to their results.
@@ -74,6 +85,7 @@ func newWorld() *world {
 		loop:      sim.New(),
 		memo:      map[endpointKey]any{},
 		traceMemo: map[string]tracePair{},
+		procMemo:  map[*ProcessSpec]trace.DeliveryProcess{},
 	}
 	w.fwdHandler = func(p *network.Packet) {
 		if w.onFwd != nil {
@@ -86,7 +98,30 @@ func newWorld() *world {
 		}
 	}
 	w.observe = w.acc.Observe
+	w.observeOp = w.acc.ObserveOpportunity
 	return w
+}
+
+// worldProcessMemoLimit bounds the per-worker process memo; past it the
+// memo is dropped wholesale (instances are cheap to recompile).
+const worldProcessMemoLimit = 64
+
+// processFor returns the worker's compiled instance for the spec,
+// compiling on first use. Reuse is safe because the link Resets the
+// instance with the run's seed before pulling from it.
+func (w *world) processFor(ps *ProcessSpec) (trace.DeliveryProcess, error) {
+	if p, ok := w.procMemo[ps]; ok {
+		return p, nil
+	}
+	p, err := ps.compile()
+	if err != nil {
+		return nil, err
+	}
+	if len(w.procMemo) >= worldProcessMemoLimit {
+		clear(w.procMemo)
+	}
+	w.procMemo[ps] = p
+	return p, nil
 }
 
 // worldFor returns the worker's pooled world, or a fresh private one when

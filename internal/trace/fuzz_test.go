@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceParse exercises the mahimahi parser with arbitrary bytes,
+// the trace-layer sibling of protocol.FuzzUnmarshal: Parse must never
+// panic, and any trace it accepts must satisfy its own invariants
+// (nondecreasing, non-negative opportunity times).
+//
+// Run with `go test -fuzz FuzzTraceParse ./internal/trace` for live
+// fuzzing; the seed corpus below runs as a normal test.
+func FuzzTraceParse(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(""),
+		[]byte("0\n1\n1\n5\n"),
+		[]byte("0\r\n1\r\n2\r\n"),            // CRLF
+		[]byte("\ufeff3\n4\n"),               // UTF-8 BOM
+		[]byte("# comment\r\n7\n\n\n"),       // comment + trailing blanks
+		[]byte("  12  \n\t13\n"),             // padded
+		[]byte("9223372036854775807\n"),      // max int64 ms (overflows Duration)
+		[]byte("99999999999999999999999\n"),  // out of int64 range
+		[]byte("-5\n"),                       // negative
+		[]byte("5\n3\n"),                     // decreasing
+		[]byte("1e3\n"),                      // not a decimal integer
+		[]byte("12abc\n"),                    //
+		{0xff, 0xfe, 0x00, '1', '\n'},        // binary garbage
+		[]byte("#only comments\n# more\n\n"), // no data at all
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Parse(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		if tr == nil {
+			t.Fatal("Parse returned nil trace with nil error")
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a trace that fails Validate: %v", verr)
+		}
+		for i, op := range tr.Opportunities {
+			if op < 0 {
+				t.Fatalf("Parse accepted negative opportunity %d at index %d", op, i)
+			}
+		}
+	})
+}

@@ -34,57 +34,81 @@ type LinkModel struct {
 	OutageEscape float64
 }
 
+// modelStep is the grid on which the §3.1 rate process is stepped. Both
+// Generate and the streaming ModelProcess advance on it with identical
+// arithmetic, which is what makes their outputs bit-identical.
+const modelStep = 10 * time.Millisecond
+
+// modelState is the evolving state of the rate process: the current
+// Poisson rate λ and whether the link is in the sticky outage state.
+type modelState struct {
+	lambda   float64
+	inOutage bool
+}
+
+// stepOnce advances the rate process by one modelStep and returns the
+// sorted fractional offsets (in [0,1) of the step) of the deliveries drawn
+// for it, reusing the scratch slice. The RNG consumption order is frozen:
+// Generate and ModelProcess both run exactly this sequence, so a given
+// (model, seed) yields one opportunity stream no matter which form pulls
+// it.
+func (m LinkModel) stepOnce(st *modelState, rng *rand.Rand, scratch []float64) []float64 {
+	dtSec := modelStep.Seconds()
+	if st.inOutage {
+		// Escape with probability 1-exp(-λz·dt).
+		if rng.Float64() < 1-math.Exp(-m.OutageEscape*dtSec) {
+			st.inOutage = false
+			// Resume at a fraction of the mean rate: links come back
+			// weak and recover.
+			st.lambda = m.MeanRate * (0.1 + 0.4*rng.Float64())
+		} else {
+			return scratch[:0] // no deliveries during outage
+		}
+	} else if m.OutageRate > 0 && rng.Float64() < 1-math.Exp(-m.OutageRate*dtSec) {
+		st.inOutage = true
+		return scratch[:0]
+	}
+	// OU step: mean reversion plus Brownian noise.
+	st.lambda += m.Reversion*(m.MeanRate-st.lambda)*dtSec + m.Sigma*math.Sqrt(dtSec)*rng.NormFloat64()
+	if st.lambda < 0 {
+		st.lambda = 0
+	}
+	if m.MaxRate > 0 && st.lambda > m.MaxRate {
+		st.lambda = m.MaxRate
+	}
+	n := poissonDraw(rng, st.lambda*dtSec)
+	if n == 0 {
+		return scratch[:0]
+	}
+	if cap(scratch) < n {
+		scratch = make([]float64, n)
+	}
+	offsets := scratch[:n]
+	for i := range offsets {
+		offsets[i] = rng.Float64()
+	}
+	// Sort offsets (insertion sort; n is small).
+	for i := 1; i < len(offsets); i++ {
+		for j := i; j > 0 && offsets[j] < offsets[j-1]; j-- {
+			offsets[j], offsets[j-1] = offsets[j-1], offsets[j]
+		}
+	}
+	return offsets
+}
+
 // Generate synthesizes a trace of the given duration using the model and
 // the provided random source. The rate process is stepped on a 10 ms grid;
 // within each step, deliveries are drawn Poisson(λ·dt) and spread uniformly.
 func (m LinkModel) Generate(d time.Duration, rng *rand.Rand) *Trace {
-	const dt = 10 * time.Millisecond
-	dtSec := dt.Seconds()
-	steps := int(d / dt)
-	lambda := m.MeanRate
-	inOutage := false
+	steps := int(d / modelStep)
+	st := modelState{lambda: m.MeanRate}
 	t := &Trace{Name: m.Name}
-	sqrtDt := math.Sqrt(dtSec)
+	var offsets []float64
 	for s := 0; s < steps; s++ {
-		start := time.Duration(s) * dt
-		if inOutage {
-			// Escape with probability 1-exp(-λz·dt).
-			if rng.Float64() < 1-math.Exp(-m.OutageEscape*dtSec) {
-				inOutage = false
-				// Resume at a fraction of the mean rate: links
-				// come back weak and recover.
-				lambda = m.MeanRate * (0.1 + 0.4*rng.Float64())
-			} else {
-				continue // no deliveries during outage
-			}
-		} else if m.OutageRate > 0 && rng.Float64() < 1-math.Exp(-m.OutageRate*dtSec) {
-			inOutage = true
-			continue
-		}
-		// OU step: mean reversion plus Brownian noise.
-		lambda += m.Reversion*(m.MeanRate-lambda)*dtSec + m.Sigma*sqrtDt*rng.NormFloat64()
-		if lambda < 0 {
-			lambda = 0
-		}
-		if m.MaxRate > 0 && lambda > m.MaxRate {
-			lambda = m.MaxRate
-		}
-		n := poissonDraw(rng, lambda*dtSec)
-		if n == 0 {
-			continue
-		}
-		offsets := make([]float64, n)
-		for i := range offsets {
-			offsets[i] = rng.Float64()
-		}
-		// Sort offsets (insertion sort; n is small).
-		for i := 1; i < len(offsets); i++ {
-			for j := i; j > 0 && offsets[j] < offsets[j-1]; j-- {
-				offsets[j], offsets[j-1] = offsets[j-1], offsets[j]
-			}
-		}
+		start := time.Duration(s) * modelStep
+		offsets = m.stepOnce(&st, rng, offsets)
 		for _, o := range offsets {
-			t.Opportunities = append(t.Opportunities, start+time.Duration(o*float64(dt)))
+			t.Opportunities = append(t.Opportunities, start+time.Duration(o*float64(modelStep)))
 		}
 	}
 	return t

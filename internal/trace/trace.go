@@ -18,6 +18,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -108,14 +109,20 @@ func (t *Trace) Slice(from, to time.Duration) *Trace {
 // Parse reads a trace in the mahimahi format: one decimal integer per line,
 // the time of a delivery opportunity in milliseconds since the start.
 // Repeated timestamps mean multiple opportunities in the same millisecond.
-// Blank lines and lines starting with '#' are ignored.
+// Blank lines and lines starting with '#' are ignored. Files that passed
+// through Windows tooling parse unchanged: CRLF line endings, a UTF-8 BOM
+// and trailing blank lines are all tolerated.
 func Parse(r io.Reader, name string) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	t := &Trace{Name: name}
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		line := sc.Text() // Scanner already strips \n and a trailing \r
+		if lineNo == 1 {
+			line = strings.TrimPrefix(line, "\ufeff") // UTF-8 BOM
+		}
+		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
@@ -125,6 +132,11 @@ func Parse(r io.Reader, name string) (*Trace, error) {
 		}
 		if ms < 0 {
 			return nil, fmt.Errorf("trace %q line %d: negative timestamp %d", name, lineNo, ms)
+		}
+		if ms > math.MaxInt64/int64(time.Millisecond) {
+			// The ms→Duration conversion below would silently wrap
+			// negative.
+			return nil, fmt.Errorf("trace %q line %d: timestamp %d ms overflows", name, lineNo, ms)
 		}
 		t.Opportunities = append(t.Opportunities, time.Duration(ms)*time.Millisecond)
 	}

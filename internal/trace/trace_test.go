@@ -38,6 +38,61 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseLineEndings hardens Parse against files that passed through
+// Windows tooling or sloppy editors: CRLF line endings, trailing blank
+// lines, a UTF-8 BOM, padding — and rejects what must stay rejected.
+func TestParseLineEndings(t *testing.T) {
+	ms := func(vs ...int) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		in      string
+		want    []time.Duration
+		wantErr bool
+	}{
+		{"crlf", "0\r\n5\r\n20\r\n", ms(0, 5, 20), false},
+		{"crlf no final newline", "0\r\n5", ms(0, 5), false},
+		{"trailing blank lines", "3\n7\n\n\n", ms(3, 7), false},
+		{"trailing crlf blanks", "3\r\n7\r\n\r\n\r\n", ms(3, 7), false},
+		{"interior blank and comment", "1\r\n# note\r\n\r\n2\r\n", ms(1, 2), false},
+		{"utf8 bom", "\ufeff4\n9\n", ms(4, 9), false},
+		{"bom then crlf", "\ufeff4\r\n9\r\n", ms(4, 9), false},
+		{"padded", "  11\t\n\t12  \n", ms(11, 12), false},
+		{"doubled cr line", "1\r\r\n2\n", ms(1, 2), false}, // stray CRs are whitespace
+		{"crlf decreasing", "9\r\n4\r\n", nil, true},
+		{"overflow ms", "9223372036854775807\n", nil, true},
+		{"empty file", "", ms(), false},
+		{"only comments and blanks", "# a\r\n\r\n# b\n\n", ms(), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := Parse(strings.NewReader(tc.in), tc.name)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Parse(%q) accepted, want error", tc.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.in, err)
+			}
+			if tr.Count() != len(tc.want) {
+				t.Fatalf("Count = %d, want %d (%v)", tr.Count(), len(tc.want), tr.Opportunities)
+			}
+			for i, op := range tr.Opportunities {
+				if op != tc.want[i] {
+					t.Errorf("op[%d] = %v, want %v", i, op, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
 func TestWriteRoundTrip(t *testing.T) {
 	tr := &Trace{Name: "rt", Opportunities: []time.Duration{
 		0, 3 * time.Millisecond, 3 * time.Millisecond, 1500 * time.Millisecond,
