@@ -281,6 +281,77 @@ func BenchmarkCoreForecast(b *testing.B) {
 	}
 }
 
+// BenchmarkForecastSweep measures the §5.5 five-confidence sweep through
+// ForecastAll: one shared evolution per tick, every quantile answered from
+// a single warm-started monotone walk. Compare against
+// BenchmarkForecastSweepNaive (five independent ForecastAt calls, five
+// evolutions) — the shared sweep must be ≥ 3× cheaper.
+func BenchmarkForecastSweep(b *testing.B) {
+	f := sprout.NewDeliveryForecaster(sprout.NewModel(sprout.Params{}))
+	for i := 0; i < 200; i++ {
+		f.Tick(6, sprout.ObsExact)
+	}
+	confidences := []float64{0.95, 0.75, 0.50, 0.25, 0.05}
+	var buf []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = f.ForecastAll(buf[:0], confidences)
+	}
+}
+
+// BenchmarkForecastSweepNaive is the pre-ForecastAll cost of the same
+// sweep: five independent forecasts, each paying the full evolution.
+func BenchmarkForecastSweepNaive(b *testing.B) {
+	f := sprout.NewDeliveryForecaster(sprout.NewModel(sprout.Params{}))
+	for i := 0; i < 200; i++ {
+		f.Tick(6, sprout.ObsExact)
+	}
+	confidences := []float64{0.95, 0.75, 0.50, 0.25, 0.05}
+	var buf []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		for _, c := range confidences {
+			buf = f.ForecastAt(buf, c)
+		}
+	}
+}
+
+// BenchmarkForecastBatch measures 16 co-scheduled forecasters answered in
+// one ForecastBatch call — per-tick evolutions interleaved over the shared
+// immutable Poisson table, as the CellWorld scheduler will consume them.
+// ns/op is for the whole batch (divide by 16 for per-flow cost).
+func BenchmarkForecastBatch(b *testing.B) {
+	const flows = 16
+	fs := make([]*sprout.DeliveryForecaster, flows)
+	for i := range fs {
+		fs[i] = sprout.NewDeliveryForecaster(sprout.NewModel(sprout.Params{}))
+		for t := 0; t < 200; t++ {
+			fs[i].Tick(float64(2+i%8), sprout.ObsExact)
+		}
+	}
+	var buf []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sprout.ForecastBatch(buf[:0], fs)
+	}
+}
+
+// BenchmarkCoreForecastFast is BenchmarkCoreForecast in the opt-in
+// quantized (float32 lookahead) mode, for the earn-its-keep comparison
+// recorded in DESIGN.md §12.4.
+func BenchmarkCoreForecastFast(b *testing.B) {
+	f := sprout.NewDeliveryForecaster(sprout.NewModel(sprout.Params{FastForecast: true}))
+	for i := 0; i < 200; i++ {
+		f.Tick(6, sprout.ObsExact)
+	}
+	var buf []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = f.Forecast(buf[:0])
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ---
 
 // ablate runs Sprout on the Verizon LTE downlink with custom model

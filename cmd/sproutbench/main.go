@@ -25,11 +25,41 @@ import (
 	"strings"
 	"time"
 
+	"sprout/internal/core"
 	"sprout/internal/engine"
 	"sprout/internal/harness"
 	"sprout/internal/scenario"
 	"sprout/internal/trace"
 )
+
+// labeled runs fn with a pprof "experiment" label, so -cpuprofile output
+// attributes forecast and event-loop samples to the experiment that drove
+// them (`pprof -tagfocus experiment=fig9`, or Graph > Tag views). Engine
+// workers are spawned inside harness calls, so goroutines started under
+// fn inherit the label.
+func labeled(name string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("experiment", name), func(context.Context) {
+		fn()
+	})
+}
+
+// warnTableCache prints a one-time warning when forecast-table builds have
+// outgrown the process-wide cache: every further forecaster at an uncached
+// parameter set silently rebuilds its own ~2.4 MB table, which turns a
+// parameter sweep's setup cost from one build into one per run.
+var warnedTableCache bool
+
+func warnTableCache() {
+	if warnedTableCache {
+		return
+	}
+	if _, _, uncached := core.TableCacheStats(); uncached > 0 {
+		warnedTableCache = true
+		fmt.Fprintf(os.Stderr,
+			"sproutbench: warning: %d forecast-table build(s) bypassed the full table cache; a sweep is varying more than %d table-shaping parameter sets and pays a full table rebuild per run\n",
+			uncached, core.TableCacheLimit)
+	}
+}
 
 func main() {
 	runFlag := flag.String("run", "all",
@@ -89,7 +119,7 @@ func main() {
 
 	runOnce := func() {
 		if *scenarioFile != "" {
-			runScenarioFile(*scenarioFile, opt)
+			labeled("scenario", func() { runScenarioFile(*scenarioFile, opt) })
 			return
 		}
 		if *downFile != "" || *upFile != "" {
@@ -97,7 +127,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "sproutbench: -down and -up must be given together")
 				fatalExit(2)
 			}
-			runCustomTraces(*downFile, *upFile, opt)
+			labeled("custom", func() { runCustomTraces(*downFile, *upFile, opt) })
 			return
 		}
 		want := map[string]bool{}
@@ -112,7 +142,9 @@ func main() {
 		if needMatrix {
 			fmt.Fprintf(os.Stderr, "running %d schemes x 8 links (duration %v)...\n",
 				len(harness.Schemes()), *duration)
-			m, err := harness.RunMatrix(opt, nil)
+			var m *harness.Matrix
+			var err error
+			labeled("matrix", func() { m, err = harness.RunMatrix(opt, nil) })
 			check(err)
 			matrix = m
 			fmt.Fprintf(os.Stderr, "matrix: %s; trace pairs: %d generated, %d served from cache\n",
@@ -121,11 +153,11 @@ func main() {
 
 		if all || want["fig1"] {
 			ran = true
-			runFig1(opt)
+			labeled("fig1", func() { runFig1(opt) })
 		}
 		if all || want["fig2"] {
 			ran = true
-			runFig2(opt)
+			labeled("fig2", func() { runFig2(opt) })
 		}
 		if all || want["table1"] {
 			ran = true
@@ -145,19 +177,19 @@ func main() {
 		}
 		if all || want["fig9"] {
 			ran = true
-			runFig9(opt)
+			labeled("fig9", func() { runFig9(opt) })
 		}
 		if all || want["loss"] {
 			ran = true
-			runLoss(opt)
+			labeled("loss", func() { runLoss(opt) })
 		}
 		if all || want["tunnel"] {
 			ran = true
-			runTunnel(opt)
+			labeled("tunnel", func() { runTunnel(opt) })
 		}
 		if all || want["multi"] {
 			ran = true
-			runMulti(opt)
+			labeled("multi", func() { runMulti(opt) })
 		}
 		if !ran {
 			fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *runFlag)
@@ -168,6 +200,7 @@ func main() {
 	for rep := 1; rep <= *repeat; rep++ {
 		start := time.Now()
 		runOnce()
+		warnTableCache()
 		if *repeat > 1 {
 			fmt.Fprintf(os.Stderr, "repeat %d/%d: %v\n", rep, *repeat, time.Since(start).Round(time.Millisecond))
 		}

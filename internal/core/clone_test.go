@@ -115,7 +115,7 @@ func TestForecastTableCacheBounded(t *testing.T) {
 	// Sweeping a table-shaping parameter past the cache limit must keep
 	// working (uncached builds), not retain a table per value forever.
 	var fs []*DeliveryForecaster
-	for i := 0; i < tableCacheLimit+4; i++ {
+	for i := 0; i < TableCacheLimit+4; i++ {
 		f := NewDeliveryForecaster(NewModel(Params{NumBins: 32, MaxRate: 100 + float64(i)}))
 		f.Tick(2, ObsExact)
 		if fc := f.Forecast(nil); len(fc) != DefaultForecastTicks {
@@ -126,8 +126,8 @@ func TestForecastTableCacheBounded(t *testing.T) {
 	tableMu.Lock()
 	n := len(tableCache)
 	tableMu.Unlock()
-	if n > tableCacheLimit {
-		t.Errorf("table cache grew to %d entries, limit %d", n, tableCacheLimit)
+	if n > TableCacheLimit {
+		t.Errorf("table cache grew to %d entries, limit %d", n, TableCacheLimit)
 	}
 	_ = fs
 }

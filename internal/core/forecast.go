@@ -28,12 +28,70 @@ type forecastTable struct {
 	flat []float64
 	off  []int
 	maxK []int
+
+	// flat32 is the lazily built float32 copy backing the opt-in fast
+	// forecast mode (Params.FastForecast); exact-mode users never pay
+	// for it. Same layout as flat, with entries below tableCut32 zeroed
+	// (see tiny32: float32 subnormals cost ~100-cycle assists on x86, so
+	// fast mode keeps every operand well clear of the underflow floor).
+	// rowEnd32[rowOff32[tick]+k] is the bin index where row (tick, k)
+	// goes to zero and stays there — the mixture scans stop early since
+	// everything beyond contributes exact +0.
+	once32   sync.Once
+	flat32   []float32
+	rowEnd32 []int32
+	rowOff32 []int
 }
 
 // row returns the bins-long CDF slice at (tick, count k).
 func (t *forecastTable) row(tick, k int) []float64 {
 	base := t.off[tick] + k*t.bins
 	return t.flat[base : base+t.bins]
+}
+
+// tableCut32 is the flush floor applied to the float32 table copy: CDF
+// entries below it become exact zeros. Combined with the posterior floor
+// tiny32 this keeps every mixture product ≥ tiny32·tableCut32 = 1e-35 —
+// normal float32 range — so no multiply ever takes the subnormal assist.
+// An entry ≤ 1e-20 contributes less than 1e-20 to a sum compared against
+// p ≥ 1e-9 in ~7-digit arithmetic: nothing.
+const tableCut32 = 1e-20
+
+// fast32 returns the float32 copy of the table, building it on first use
+// together with the per-row scan bounds.
+func (t *forecastTable) fast32() []float32 {
+	t.once32.Do(func() {
+		f := make([]float32, len(t.flat))
+		for i, v := range t.flat {
+			// Compare in float64 so sub-floor values are never even
+			// converted (the conversion itself would pay the assist).
+			if v >= tableCut32 {
+				f[i] = float32(v)
+			}
+		}
+		t.flat32 = f
+		// Row (tick, k) is P(C <= k | λ = bin j): nonincreasing in j, so
+		// once it falls below the cut the rest of the row is zero. Record
+		// where, so the mixture scans skip the dead tail.
+		t.rowOff32 = make([]int, len(t.off))
+		rows := 0
+		for i := range t.off {
+			t.rowOff32[i] = t.off[i] / t.bins
+			rows += t.maxK[i] + 1
+		}
+		t.rowEnd32 = make([]int32, rows)
+		for i := range t.off {
+			for k := 0; k <= t.maxK[i]; k++ {
+				row := t.flat[t.off[i]+k*t.bins : t.off[i]+(k+1)*t.bins]
+				end := len(row)
+				for end > 0 && row[end-1] < tableCut32 {
+					end--
+				}
+				t.rowEnd32[t.rowOff32[i]+k] = int32(end)
+			}
+		}
+	})
+	return t.flat32
 }
 
 func buildForecastTable(binRate []float64, tau float64, ticks int, maxRate float64) *forecastTable {
@@ -72,17 +130,34 @@ type tableKey struct {
 	tick    time.Duration
 }
 
-// tableCacheLimit bounds the process-wide cache: a table at the default
-// parameters holds ~300k float64s (~2.4 MB), and entries are never
-// evicted, so a library consumer sweeping a table-shaping parameter past
-// this many distinct values gets uncached (per-forecaster) tables rather
-// than unbounded retained memory.
-const tableCacheLimit = 16
+// TableCacheLimit bounds the process-wide forecast-table cache: a table at
+// the default parameters holds ~300k float64s (~2.4 MB), and entries are
+// never evicted, so a library consumer sweeping a table-shaping parameter
+// past this many distinct values gets uncached (per-forecaster) tables
+// rather than unbounded retained memory. TableCacheStats makes that
+// degradation observable.
+const TableCacheLimit = 16
 
 var (
-	tableMu    sync.Mutex
-	tableCache = map[tableKey]*forecastTable{}
+	tableMu       sync.Mutex
+	tableCache    = map[tableKey]*forecastTable{}
+	tableHits     int64
+	tableMisses   int64
+	tableUncached int64
 )
+
+// TableCacheStats reports the process-wide forecast-table cache counters:
+// hits (a forecaster reused a cached table), misses (a fresh build that
+// was — or raced another builder that was — stored), and uncached builds
+// (the cache was already at its size limit, so the build could not be
+// stored and every further forecaster at those parameters rebuilds its
+// own ~2.4 MB table). A nonzero uncached count means a parameter sweep
+// has silently outgrown the cache.
+func TableCacheStats() (hits, misses, uncached int64) {
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	return tableHits, tableMisses, tableUncached
+}
 
 func forecastTableFor(m *Model) *forecastTable {
 	key := tableKey{
@@ -93,6 +168,7 @@ func forecastTableFor(m *Model) *forecastTable {
 	}
 	tableMu.Lock()
 	if t, ok := tableCache[key]; ok {
+		tableHits++
 		tableMu.Unlock()
 		return t
 	}
@@ -104,10 +180,14 @@ func forecastTableFor(m *Model) *forecastTable {
 	tableMu.Lock()
 	defer tableMu.Unlock()
 	if cached, ok := tableCache[key]; ok {
+		tableMisses++ // this build lost the benign race; the table is cached
 		return cached
 	}
-	if len(tableCache) < tableCacheLimit {
+	if len(tableCache) < TableCacheLimit {
 		tableCache[key] = t
+		tableMisses++
+	} else {
+		tableUncached++
 	}
 	return t
 }
@@ -140,29 +220,68 @@ type DeliveryForecaster struct {
 	// only live bins.
 	cur, next []float64
 	lo, hi    int
+
+	// Sweep scratch for ForecastAll: the requested confidences as
+	// p-values sorted ascending, each remembering its caller slot, plus
+	// each confidence's previous-tick quantile (its warm start and
+	// monotonic clamp). Retained so repeated sweeps allocate nothing.
+	sweepP    []float64
+	sweepIdx  []int
+	sweepPrev []int
+	one       [1]float64 // ForecastAt's single-confidence view
+
+	// Fast-mode state (Params.FastForecast): float32 mirrors of the
+	// evolution scratch and the model's kernel, plus the shared float32
+	// table copy. kernelFrom identifies the float64 kernel the mirrors
+	// were built from, so SetSigma's kernel swap triggers a rebuild.
+	cur32, next32         []float32
+	kernel32, kernelPad32 []float32
+	kernelFrom            *float64
+	tblFlat32             []float32
 }
 
 // NewDeliveryForecaster builds the forecaster for the model, reusing the
 // process-wide CDF table when one with matching parameters exists.
 func NewDeliveryForecaster(m *Model) *DeliveryForecaster {
-	return &DeliveryForecaster{
+	f := &DeliveryForecaster{
 		model: m,
 		tbl:   forecastTableFor(m),
-		cur:   make([]float64, m.NumBins()),
-		next:  make([]float64, m.NumBins()),
 	}
+	if m.p.FastForecast {
+		f.cur32 = make([]float32, m.NumBins())
+		f.next32 = make([]float32, m.NumBins())
+		f.tblFlat32 = f.tbl.fast32()
+		f.syncFastKernel()
+	} else {
+		f.cur = make([]float64, m.NumBins())
+		f.next = make([]float64, m.NumBins())
+	}
+	return f
 }
 
 // Clone returns an independent forecaster whose model and scratch state
 // are deep-copied while the immutable CDF table is shared. The clone may
 // be Ticked concurrently with the original.
 func (f *DeliveryForecaster) Clone() *DeliveryForecaster {
-	return &DeliveryForecaster{
-		model: f.model.Clone(),
-		tbl:   f.tbl,
-		cur:   make([]float64, len(f.cur)),
-		next:  make([]float64, len(f.next)),
+	c := &DeliveryForecaster{
+		model:     f.model.Clone(),
+		tbl:       f.tbl,
+		tblFlat32: f.tblFlat32,
+		// The float32 kernel mirrors are immutable once built (a sigma
+		// change installs fresh slices), so the clone shares them.
+		kernel32:    f.kernel32,
+		kernelPad32: f.kernelPad32,
+		kernelFrom:  f.kernelFrom,
 	}
+	if f.cur != nil {
+		c.cur = make([]float64, len(f.cur))
+		c.next = make([]float64, len(f.next))
+	}
+	if f.cur32 != nil {
+		c.cur32 = make([]float32, len(f.cur32))
+		c.next32 = make([]float32, len(f.next32))
+	}
+	return c
 }
 
 // Model returns the underlying Bayesian filter.
@@ -201,9 +320,16 @@ func (f *DeliveryForecaster) Forecast(dst []float64) []float64 {
 	return f.ForecastAt(dst, f.model.p.Confidence)
 }
 
-// ForecastAt is Forecast with an explicit confidence, used by the §5.5
-// confidence-parameter sweep.
+// ForecastAt is Forecast with an explicit confidence: a one-confidence
+// ForecastAll.
 func (f *DeliveryForecaster) ForecastAt(dst []float64, confidence float64) []float64 {
+	f.one[0] = confidence
+	return f.ForecastAll(dst, f.one[:])
+}
+
+// clampP converts a confidence into the quantile probability the searches
+// compare against, clamped inside (0, 1).
+func clampP(confidence float64) float64 {
 	p := 1 - confidence
 	if p <= 0 {
 		p = 1e-9
@@ -211,41 +337,283 @@ func (f *DeliveryForecaster) ForecastAt(dst []float64, confidence float64) []flo
 	if p >= 1 {
 		p = 1 - 1e-9
 	}
-	copy(f.cur, f.model.probs)
-	f.lo, f.hi = f.model.lo, f.model.hi
-	prev := 0
-	for i := 0; i < f.model.p.ForecastTicks; i++ {
-		f.lo, f.hi = evolveInto(f.next, f.cur, f.model.kernel, f.model.radius, f.model.outageStay, f.lo, f.hi)
-		f.cur, f.next = f.next, f.cur
-		prev = f.mixtureQuantileFrom(i, p, prev)
-		dst = append(dst, float64(prev))
+	return p
+}
+
+// ForecastAll appends the cautious forecast at every requested confidence
+// to dst: confidences[0]'s HorizonTicks values first, then
+// confidences[1]'s, and so on — each block exactly what ForecastAt at
+// that confidence appends (bit-identical, any order, duplicates allowed).
+//
+// This is the §5.5 sweep entry point, and the reason it exists: every
+// confidence reads the same evolved posterior, so the evolution — by far
+// the dominant cost — runs once per tick for the whole sweep instead of
+// once per confidence. Within a tick the quantile searches share one
+// monotone walk up the count axis: the p-values are visited in ascending
+// order and each search warm-starts at the previous answer (provably its
+// lower bound), so later confidences usually cost a handful of extra CDF
+// probes. A k-confidence sweep is therefore close to the price of one.
+func (f *DeliveryForecaster) ForecastAll(dst []float64, confidences []float64) []float64 {
+	nc := len(confidences)
+	if nc == 0 {
+		return dst
+	}
+	ticks := f.model.p.ForecastTicks
+	base := len(dst)
+	dst = extendFloats(dst, nc*ticks)
+
+	// Order the p-values ascending (insertion sort into retained
+	// scratch; sweeps are tiny), remembering each one's caller slot.
+	f.sweepP, f.sweepIdx, f.sweepPrev = f.sweepP[:0], f.sweepIdx[:0], f.sweepPrev[:0]
+	for ci, conf := range confidences {
+		p := clampP(conf)
+		at := ci
+		f.sweepP = append(f.sweepP, 0)
+		f.sweepIdx = append(f.sweepIdx, 0)
+		for ; at > 0 && f.sweepP[at-1] > p; at-- {
+			f.sweepP[at] = f.sweepP[at-1]
+			f.sweepIdx[at] = f.sweepIdx[at-1]
+		}
+		f.sweepP[at], f.sweepIdx[at] = p, ci
+		f.sweepPrev = append(f.sweepPrev, 0)
+	}
+
+	f.beginEvolve()
+	for i := 0; i < ticks; i++ {
+		f.stepEvolve()
+		// One monotone walk answers every confidence: ascending p means
+		// ascending quantile, so each search starts at the larger of its
+		// own previous-tick bound and the preceding confidence's answer
+		// this tick. Both are exact lower bounds of its result, so the
+		// answer — and the appended forecast — is bit-identical to an
+		// independent per-confidence search.
+		walk := 0
+		for s := 0; s < nc; s++ {
+			ci := f.sweepIdx[s]
+			from := f.sweepPrev[ci]
+			if walk > from {
+				from = walk
+			}
+			q := f.quantileFrom(i, f.sweepP[s], from)
+			f.sweepPrev[ci] = q
+			walk = q
+			dst[base+ci*ticks+i] = float64(q)
+		}
 	}
 	return dst
 }
 
+// ForecastBatch appends, for each forecaster in fs, its cautious forecast
+// at its own configured confidence — fs[0]'s HorizonTicks values, then
+// fs[1]'s, and so on — exactly as if each had run Forecast independently
+// (bit-identical). The forecasters must be distinct (they keep per-call
+// scratch); they may differ in parameters, including horizon.
+//
+// The evolutions are interleaved tick by tick, so when the forecasters
+// share a table the batch walks each per-tick CDF region once for all N
+// flows while it is cache-hot, instead of N full passes over the whole
+// table. This is the inference API for a shared-cell scheduler that
+// forecasts many co-scheduled flows at the same instant.
+func ForecastBatch(dst []float64, fs []*DeliveryForecaster) []float64 {
+	if len(fs) == 0 {
+		return dst
+	}
+	base := len(dst)
+	total, maxTicks := 0, 0
+	for _, f := range fs {
+		t := f.model.p.ForecastTicks
+		total += t
+		if t > maxTicks {
+			maxTicks = t
+		}
+	}
+	dst = extendFloats(dst, total)
+	for _, f := range fs {
+		f.beginEvolve()
+	}
+	for i := 0; i < maxTicks; i++ {
+		off := base
+		for _, f := range fs {
+			ticks := f.model.p.ForecastTicks
+			if i < ticks {
+				f.stepEvolve()
+				prev := 0
+				if i > 0 {
+					// The previous tick's bound is already in dst;
+					// reading it back keeps the batch allocation-free.
+					prev = int(dst[off+i-1])
+				}
+				q := f.quantileFrom(i, clampP(f.model.p.Confidence), prev)
+				dst[off+i] = float64(q)
+			}
+			off += ticks
+		}
+	}
+	return dst
+}
+
+// extendFloats grows dst by n slots (contents unspecified — the callers
+// overwrite every new slot), reusing capacity when available so the
+// steady-state path allocates nothing.
+func extendFloats(dst []float64, n int) []float64 {
+	if cap(dst)-len(dst) < n {
+		g := make([]float64, len(dst), len(dst)+n)
+		copy(g, dst)
+		dst = g
+	}
+	return dst[: len(dst)+n]
+}
+
+// tiny32 is fast mode's deterministic flush-to-zero floor. float32
+// products underflow into subnormals below ~1.2e-38 — mass the forecast
+// cannot see (float32 carries ~7 digits against a total of 1.0) but that
+// x86 punishes with ~100-cycle microcode assists, which is what made a
+// naive float32 port slower than the exact float64 path. Flushing the
+// posterior below 1e-15 after each evolution keeps every later product
+// normal: ≥ 1e-15·tableCut32 = 1e-35 in the mixtures, ≥ 1e-15·(smallest
+// kernel weight ~1e-6) in the evolutions. The flush is an explicit
+// threshold comparison, so fast mode stays deterministic across platforms
+// and its golden hash stays pinned.
+const tiny32 = 1e-15
+
+// flushTiny32 zeroes sub-floor entries of v inside [lo, hi) and tightens
+// the support window to the surviving mass.
+func flushTiny32(v []float32, lo, hi int) (int, int) {
+	for i := lo; i < hi; i++ {
+		if v[i] < tiny32 {
+			v[i] = 0
+		}
+	}
+	for lo < hi && v[lo] == 0 {
+		lo++
+	}
+	for hi > lo && v[hi-1] == 0 {
+		hi--
+	}
+	return lo, hi
+}
+
+// beginEvolve copies the model's posterior into the lookahead scratch.
+func (f *DeliveryForecaster) beginEvolve() {
+	m := f.model
+	f.lo, f.hi = m.lo, m.hi
+	if m.p.FastForecast {
+		f.syncFastKernel()
+		// Compare before converting: converting a sub-floor float64
+		// would itself produce (and pay for) a subnormal float32.
+		for j, v := range m.probs {
+			if v >= tiny32 {
+				f.cur32[j] = float32(v)
+			} else {
+				f.cur32[j] = 0
+			}
+		}
+		f.lo, f.hi = flushTiny32(f.cur32, f.lo, f.hi)
+		return
+	}
+	copy(f.cur, m.probs)
+}
+
+// stepEvolve advances the lookahead posterior one observation-free tick.
+func (f *DeliveryForecaster) stepEvolve() {
+	m := f.model
+	if m.p.FastForecast {
+		f.lo, f.hi = evolveWindow(f.next32, f.cur32, f.kernel32, f.kernelPad32, m.radius, float32(m.outageStay), f.lo, f.hi)
+		f.lo, f.hi = flushTiny32(f.next32, f.lo, f.hi)
+		f.cur32, f.next32 = f.next32, f.cur32
+		return
+	}
+	f.lo, f.hi = evolveWindow(f.next, f.cur, m.kernel, m.kernelPad, m.radius, m.outageStay, f.lo, f.hi)
+	f.cur, f.next = f.next, f.cur
+}
+
+// quantileFrom dispatches the per-tick quantile search to the exact or
+// fast-mode mixture.
+func (f *DeliveryForecaster) quantileFrom(tick int, p float64, lo0 int) int {
+	if f.model.p.FastForecast {
+		return f.mixtureQuantileFrom32(tick, p, lo0)
+	}
+	return f.mixtureQuantileFrom(tick, p, lo0)
+}
+
+// syncFastKernel (re)builds the float32 kernel mirrors when the model's
+// kernel has been replaced (SetSigma); a no-op otherwise.
+func (f *DeliveryForecaster) syncFastKernel() {
+	m := f.model
+	if f.kernelFrom == &m.kernel[0] {
+		return
+	}
+	k32 := make([]float32, len(m.kernel))
+	for i, w := range m.kernel {
+		k32[i] = float32(w)
+	}
+	f.kernel32 = k32
+	f.kernelPad32 = padKernel(k32)
+	f.kernelFrom = &m.kernel[0]
+}
+
 // mixtureQuantileFrom returns max(lo0, q) where q is the smallest count
 // whose mixture CDF exceeds p — the cautious bound at the given tick,
-// already clamped to the nondecreasing cumulative forecast. Since the
-// caller discards any quantile below the previous tick's bound, the
-// binary search warm-starts at lo0 and is capped by the precomputed
-// per-tick count bound.
+// already clamped to the nondecreasing cumulative forecast. The search
+// warm-starts at lo0 and is capped by the precomputed per-tick count
+// bound.
+//
+// Search strategy cannot change the result: F is a pure nondecreasing
+// function of k (every evaluation an independent windowed dot product),
+// so any probe order finds the same first count with F(k) > p. The shape
+// below exists purely for speed — each CDF evaluation is a latency-bound
+// chain of dependent adds, so probing four counts per pass (mixtureCDF4's
+// independent accumulators) costs about the same as probing one.
 func (f *DeliveryForecaster) mixtureQuantileFrom(tick int, p float64, lo0 int) int {
 	hi := f.tbl.maxK[tick]
 	if lo0 >= hi {
 		return lo0
 	}
-	// F(k) = Σ_j w_j · cdf[k][j] is nondecreasing in k; find the first k
-	// in (lo0, hi] with F(k) > p, unless F(lo0) already exceeds p.
 	if f.mixtureCDF(tick, lo0) > p {
 		return lo0
 	}
 	lo := lo0
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		if f.mixtureCDF(tick, mid) > p {
-			hi = mid
-		} else {
-			lo = mid
+	// The cumulative bound usually advances only a few counts per tick,
+	// so probe the next four counts in one pass before searching.
+	if lo+4 <= hi {
+		f1, f2, f3, f4 := f.mixtureCDF4(tick, lo+1, lo+2, lo+3, lo+4)
+		switch {
+		case f1 > p:
+			return lo + 1
+		case f2 > p:
+			return lo + 2
+		case f3 > p:
+			return lo + 3
+		case f4 > p:
+			return lo + 4
+		}
+		lo += 4
+	}
+	// Quinary search: four interior probes per pass split (lo, hi] five
+	// ways, maintaining F(lo) <= p < F at (or beyond) hi.
+	for hi-lo > 5 {
+		step := (hi - lo) / 5
+		m1 := lo + step
+		m2 := m1 + step
+		m3 := m2 + step
+		m4 := m3 + step
+		f1, f2, f3, f4 := f.mixtureCDF4(tick, m1, m2, m3, m4)
+		switch {
+		case f1 > p:
+			hi = m1
+		case f2 > p:
+			lo, hi = m1, m2
+		case f3 > p:
+			lo, hi = m2, m3
+		case f4 > p:
+			lo, hi = m3, m4
+		default:
+			lo = m4
+		}
+	}
+	for k := lo + 1; k < hi; k++ {
+		if f.mixtureCDF(tick, k) > p {
+			return k
 		}
 	}
 	return hi
@@ -267,6 +635,139 @@ func (f *DeliveryForecaster) mixtureCDF(tick, k int) float64 {
 		}
 	}
 	return s
+}
+
+// mixtureCDF4 evaluates F at four counts in one pass over the support
+// window: the four dot products share the posterior loads and accumulate
+// independently, so the pass costs roughly one latency-bound mixtureCDF
+// chain instead of four. Each sum receives the same terms in the same
+// order as mixtureCDF (whose zero-weight guard only ever skips exact +0
+// additions to a non-negative sum), so all four values are bit-identical
+// to four separate evaluations.
+func (f *DeliveryForecaster) mixtureCDF4(tick, k1, k2, k3, k4 int) (float64, float64, float64, float64) {
+	lo, hi := f.lo, f.hi
+	r1 := f.tbl.row(tick, k1)[lo:hi]
+	r2 := f.tbl.row(tick, k2)[lo:hi]
+	r3 := f.tbl.row(tick, k3)[lo:hi]
+	r4 := f.tbl.row(tick, k4)[lo:hi]
+	cur := f.cur[lo:hi]
+	var s1, s2, s3, s4 float64
+	for j, w := range cur {
+		s1 += w * r1[j]
+		s2 += w * r2[j]
+		s3 += w * r3[j]
+		s4 += w * r4[j]
+	}
+	return s1, s2, s3, s4
+}
+
+// --- fast mode (float32 mixture) ---
+
+// row32 returns the float32 CDF row at (tick, count k).
+func (f *DeliveryForecaster) row32(tick, k int) []float32 {
+	base := f.tbl.off[tick] + k*f.tbl.bins
+	return f.tblFlat32[base : base+f.tbl.bins]
+}
+
+// mixtureQuantileFrom32 is mixtureQuantileFrom over the float32 posterior
+// and table. F stays nondecreasing in k (float32 rounding is monotone),
+// so the warm-started shared walk remains exact for fast mode too — fast
+// results differ from exact ones only through the reduced precision of
+// the mixture values themselves.
+func (f *DeliveryForecaster) mixtureQuantileFrom32(tick int, p float64, lo0 int) int {
+	hi := f.tbl.maxK[tick]
+	if lo0 >= hi {
+		return lo0
+	}
+	if f.mixtureCDF32(tick, lo0) > p {
+		return lo0
+	}
+	lo := lo0
+	if lo+4 <= hi {
+		f1, f2, f3, f4 := f.mixtureCDF432(tick, lo+1, lo+2, lo+3, lo+4)
+		switch {
+		case f1 > p:
+			return lo + 1
+		case f2 > p:
+			return lo + 2
+		case f3 > p:
+			return lo + 3
+		case f4 > p:
+			return lo + 4
+		}
+		lo += 4
+	}
+	for hi-lo > 5 {
+		step := (hi - lo) / 5
+		m1 := lo + step
+		m2 := m1 + step
+		m3 := m2 + step
+		m4 := m3 + step
+		f1, f2, f3, f4 := f.mixtureCDF432(tick, m1, m2, m3, m4)
+		switch {
+		case f1 > p:
+			hi = m1
+		case f2 > p:
+			lo, hi = m1, m2
+		case f3 > p:
+			lo, hi = m2, m3
+		case f4 > p:
+			lo, hi = m3, m4
+		default:
+			lo = m4
+		}
+	}
+	for k := lo + 1; k < hi; k++ {
+		if f.mixtureCDF32(tick, k) > p {
+			return k
+		}
+	}
+	return hi
+}
+
+// scanHi32 bounds a fast-mode mixture scan: beyond row k's recorded end
+// the table holds exact zeros, so the dot product can stop there.
+func (f *DeliveryForecaster) scanHi32(tick, k int) int {
+	hi := f.hi
+	if end := int(f.tbl.rowEnd32[f.tbl.rowOff32[tick]+k]); end < hi {
+		hi = end
+	}
+	if hi < f.lo {
+		hi = f.lo
+	}
+	return hi
+}
+
+func (f *DeliveryForecaster) mixtureCDF32(tick, k int) float64 {
+	lo, hi := f.lo, f.scanHi32(tick, k)
+	row := f.row32(tick, k)[lo:hi]
+	cur := f.cur32[lo:hi]
+	var s float32
+	for j, w := range cur {
+		s += w * row[j]
+	}
+	return float64(s)
+}
+
+// mixtureCDF432 shares one scan across four probes. Callers pass
+// k1 < k2 < k3 < k4, and row ends are nondecreasing in k (the CDF is
+// pointwise nondecreasing in k), so k4's bound covers all four; the
+// shorter rows' overhang is exact zeros.
+func (f *DeliveryForecaster) mixtureCDF432(tick, k1, k2, k3, k4 int) (float64, float64, float64, float64) {
+	lo, hi := f.lo, f.scanHi32(tick, k4)
+	r1 := f.row32(tick, k1)[lo:hi]
+	r2 := f.row32(tick, k2)[lo:hi]
+	r3 := f.row32(tick, k3)[lo:hi]
+	r4 := f.row32(tick, k4)[lo:hi]
+	cur := f.cur32[lo:hi]
+	var s1, s2, s3, s4 float32
+	for j, w := range cur {
+		s1 += w * r1[j]
+		s2 += w * r2[j]
+		s3 += w * r3[j]
+		s4 += w * r4[j]
+	}
+	return float64(s1), float64(s2), float64(s3), float64(s4)
 }
 
 // EWMAForecaster is the Sprout-EWMA variant (§5.3): it tracks the observed

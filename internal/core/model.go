@@ -31,6 +31,7 @@ type Model struct {
 	logRateTau []float64 // log of the same
 
 	kernel     []float64 // Brownian transition kernel per tick, by bin offset
+	kernelPad  []float64 // kernel zero-padded for the multi-lane gather (padKernel)
 	radius     int       // kernel half-width in bins
 	outageStay float64   // exp(-λz τ): probability an outage persists a tick
 
@@ -76,6 +77,7 @@ func NewModel(p Params) *Model {
 		m.radius = n - 1
 	}
 	m.kernel = stats.GaussianKernel(stdBins, m.binWidth, m.radius)
+	m.kernelPad = padKernel(m.kernel)
 	m.outageStay = math.Exp(-p.OutageEscape * tau)
 	m.Reset()
 	return m
@@ -117,6 +119,7 @@ func (m *Model) SetSigma(sigma float64) {
 		m.radius = n - 1
 	}
 	m.kernel = stats.GaussianKernel(std, m.binWidth, m.radius)
+	m.kernelPad = padKernel(m.kernel)
 }
 
 // Reset restores the uniform prior (all rates equally probable, §3.1).
@@ -145,15 +148,40 @@ func (m *Model) Distribution(dst []float64) []float64 {
 }
 
 // Evolve advances the posterior one tick of Brownian motion with the
-// outage-stickiness bias (§3.2 step 1). evolveInto is shared with the
+// outage-stickiness bias (§3.2 step 1). evolveWindow is shared with the
 // forecaster, which evolves a scratch copy.
 func (m *Model) Evolve() {
-	m.lo, m.hi = evolveInto(m.scratch, m.probs, m.kernel, m.radius, m.outageStay, m.lo, m.hi)
+	m.lo, m.hi = evolveWindow(m.scratch, m.probs, m.kernel, m.kernelPad, m.radius, m.outageStay, m.lo, m.hi)
 	m.probs, m.scratch = m.scratch, m.probs
 	m.ticks++
 }
 
-// evolveInto computes one evolution step from src into dst. dst and src
+// binFloat is the element type of the evolution and mixture arithmetic:
+// float64 on the exact path, float32 in the opt-in fast forecast mode.
+type binFloat interface {
+	~float32 | ~float64
+}
+
+// gatherLanes is how many destination bins one fused gather pass computes.
+// The lane accumulators live in registers and share a single scan of the
+// source window, made branch-free by the zero-padded kernel. Eight lanes
+// matter because each lane is a serial float add chain: with fewer lanes
+// the pass is latency-bound on the accumulator adds rather than
+// throughput-bound, and the measured cost nearly doubles.
+const gatherLanes = 8
+
+// padKernel returns kernel zero-padded by gatherLanes-1 entries on each
+// side, so lane m of a gather group can read kernelPad[base-j+m] for every
+// source bin in the group's union window without an in-range branch. The
+// padding only ever contributes exact +0 terms, which leave the
+// non-negative lane sums bit-identical.
+func padKernel[F binFloat](kernel []F) []F {
+	pad := make([]F, len(kernel)+2*(gatherLanes-1))
+	copy(pad[gatherLanes-1:], kernel)
+	return pad
+}
+
+// evolveWindow computes one evolution step from src into dst. dst and src
 // must be distinct slices of equal length. Probability mass diffusing below
 // bin 0 collects in bin 0 (entering an outage); mass above the top bin folds
 // into the top bin. Bin 0 itself keeps fraction outageStay in place and
@@ -161,71 +189,154 @@ func (m *Model) Evolve() {
 //
 // [lo, hi) bounds src's nonzero support; only those bins are scanned. The
 // returned window bounds dst's support (one kernel radius wider, clamped).
-// Source bins are split into an interior region, whose inner loop is a
-// plain fused multiply-add with no folding branches, and the two edge
-// regions, which keep the fold-to-boundary switch. Bin visit order is
-// unchanged from the single branchy loop, so accumulation order — and
-// therefore every floating-point result — is identical.
-func evolveInto(dst, src, kernel []float64, radius int, outageStay float64, lo, hi int) (int, int) {
+//
+// The pass is a gather: each destination bin's convolution sum accumulates
+// in a register and is stored exactly once, instead of the classic scatter
+// that read-modify-writes every bin under the kernel once per source bin.
+// Interior destinations are computed gatherLanes at a time against the
+// zero-padded kernel, so one scan of the shared source window feeds four
+// independent register accumulators. Every destination still receives its
+// terms in ascending source-bin order — exactly the order the scatter
+// produced — and the only extra terms are the padding's exact zeros added
+// to non-negative sums, so every floating-point result is bit-identical to
+// the scatter form (TestEvolveGatherMatchesScatter pins this). The two
+// boundary bins keep dedicated loops because their sums also fold in the
+// out-of-grid kernel tail, again in the scatter's ascending-offset order.
+func evolveWindow[F binFloat](dst, src, kernel, kernelPad []F, radius int, outageStay F, lo, hi int) (int, int) {
 	n := len(src)
-	for i := range dst {
+	// dst's support is src's support widened by one radius; any mass that
+	// would land below bin 1 folds into bin 0, so the window snaps to 0.
+	newLo := lo - radius
+	if newLo < 1 {
+		newLo = 0
+	}
+	newHi := hi + radius
+	if newHi > n {
+		newHi = n
+	}
+	for i := 0; i < newLo; i++ {
 		dst[i] = 0
 	}
-	j := lo
-	if j < 1 {
-		j = 1
+	for i := newHi; i < n; i++ {
+		dst[i] = 0
 	}
-	// Low edge: j < radius can diffuse below bin 0 (fold into outage).
-	for ; j < hi && j < radius; j++ {
-		pj := src[j]
-		if pj == 0 {
-			continue
+	jlo := lo
+	if jlo < 1 {
+		jlo = 1 // bin 0 diffuses through the sticky-outage step below
+	}
+
+	// Bin 0 gathers the kernel mass at and below it (offsets <= 0, the
+	// into-outage fold) from every source bin within one radius.
+	if newLo == 0 {
+		jmax := radius
+		if jmax > hi-1 {
+			jmax = hi - 1
 		}
-		for k := j - radius; k <= j+radius; k++ {
-			w := kernel[k-j+radius]
-			switch {
-			case k < 0:
-				dst[0] += pj * w // diffused into outage
-			case k >= n:
-				dst[n-1] += pj * w
-			default:
-				dst[k] += pj * w
+		var d0 F
+		for j := jlo; j <= jmax; j++ {
+			pj := src[j]
+			row := kernel[:radius-j+1]
+			for _, w := range row {
+				d0 += pj * w
 			}
 		}
+		dst[0] = d0
 	}
-	// Interior: the kernel fits entirely inside the grid — no folding.
-	// Slicing the row to the kernel's length lets the compiler drop the
-	// per-element bounds check; the visit order (and so every float
-	// result) is unchanged.
-	for ; j < hi && j < n-radius; j++ {
-		pj := src[j]
-		if pj == 0 {
-			continue
-		}
-		row := dst[j-radius : j-radius+len(kernel)]
-		ker := kernel[:len(row)]
-		for t := range row {
-			row[t] += pj * ker[t]
-		}
+
+	// Interior bins: pure convolution, four register lanes at a time.
+	kLo := newLo
+	if kLo < 1 {
+		kLo = 1
 	}
-	// High edge: j > n-1-radius folds into the top bin.
-	for ; j < hi; j++ {
-		pj := src[j]
-		if pj == 0 {
-			continue
+	kHi := newHi
+	if kHi > n-1 {
+		kHi = n - 1
+	}
+	k := kLo
+	for ; k+gatherLanes-1 < kHi; k += gatherLanes {
+		j0 := k - radius
+		if j0 < jlo {
+			j0 = jlo
 		}
-		for k := j - radius; k <= j+radius; k++ {
-			w := kernel[k-j+radius]
-			switch {
-			case k < 0:
-				dst[0] += pj * w
-			case k >= n:
-				dst[n-1] += pj * w
-			default:
-				dst[k] += pj * w
+		j1 := k + gatherLanes - 1 + radius
+		if j1 > hi-1 {
+			j1 = hi - 1
+		}
+		base := k + radius + gatherLanes - 1
+		var a0, a1, a2, a3, a4, a5, a6, a7 F
+		j := j0
+		for ; j+1 <= j1; j += 2 {
+			pj := src[j]
+			w := kernelPad[base-j : base-j+gatherLanes]
+			a0 += pj * w[0]
+			a1 += pj * w[1]
+			a2 += pj * w[2]
+			a3 += pj * w[3]
+			a4 += pj * w[4]
+			a5 += pj * w[5]
+			a6 += pj * w[6]
+			a7 += pj * w[7]
+			pq := src[j+1]
+			v := kernelPad[base-j-1 : base-j-1+gatherLanes]
+			a0 += pq * v[0]
+			a1 += pq * v[1]
+			a2 += pq * v[2]
+			a3 += pq * v[3]
+			a4 += pq * v[4]
+			a5 += pq * v[5]
+			a6 += pq * v[6]
+			a7 += pq * v[7]
+		}
+		for ; j <= j1; j++ {
+			pj := src[j]
+			w := kernelPad[base-j : base-j+gatherLanes]
+			a0 += pj * w[0]
+			a1 += pj * w[1]
+			a2 += pj * w[2]
+			a3 += pj * w[3]
+			a4 += pj * w[4]
+			a5 += pj * w[5]
+			a6 += pj * w[6]
+			a7 += pj * w[7]
+		}
+		dst[k], dst[k+1], dst[k+2], dst[k+3] = a0, a1, a2, a3
+		dst[k+4], dst[k+5], dst[k+6], dst[k+7] = a4, a5, a6, a7
+	}
+	for ; k < kHi; k++ {
+		j0 := k - radius
+		if j0 < jlo {
+			j0 = jlo
+		}
+		j1 := k + radius
+		if j1 > hi-1 {
+			j1 = hi - 1
+		}
+		base := k + radius
+		var acc F
+		for j := j0; j <= j1; j++ {
+			acc += src[j] * kernel[base-j]
+		}
+		dst[k] = acc
+	}
+
+	// Top bin: its direct kernel term plus the folded above-grid tail
+	// (offsets >= n-1-j, ascending), from every source bin within reach.
+	if newHi == n {
+		j0 := n - 1 - radius
+		if j0 < jlo {
+			j0 = jlo
+		}
+		var dn F
+		for j := j0; j < hi; j++ {
+			pj := src[j]
+			row := kernel[n-1-j+radius:]
+			for _, w := range row {
+				dn += pj * w
 			}
 		}
+		dst[n-1] = dn
 	}
+
 	// Bin 0: sticky outage. Stay with probability outageStay; otherwise
 	// escape by diffusing from 0 (half of that kernel folds back into 0,
 	// making outages even stickier, as observed on real links).
@@ -243,16 +354,6 @@ func evolveInto(dst, src, kernel []float64, radius int, outageStay float64, lo, 
 				dst[n-1] += esc * w
 			}
 		}
-	}
-	// dst's support is src's support widened by one radius; any mass that
-	// would land below bin 1 folds into bin 0, so the window snaps to 0.
-	newLo := lo - radius
-	if newLo < 1 {
-		newLo = 0
-	}
-	newHi := hi + radius
-	if newHi > n {
-		newHi = n
 	}
 	return newLo, newHi
 }

@@ -52,6 +52,15 @@ type Params struct {
 	Confidence float64
 	// ForecastTicks is the forecast horizon in ticks.
 	ForecastTicks int
+	// FastForecast opts the forecaster's lookahead (evolution and
+	// mixture quantiles) into float32 arithmetic. The inference ticks —
+	// and therefore the posterior every forecast starts from — stay
+	// exact float64; only the observation-free lookahead is quantized.
+	// The default (false) is the exact mode guarded by the repository's
+	// bit-identical golden hashes; fast mode trades that exactness for
+	// speed and carries its own pinned golden hash instead
+	// (DESIGN.md §12.4).
+	FastForecast bool
 }
 
 // withDefaults fills zero fields with the paper's frozen constants.

@@ -8,7 +8,7 @@ import (
 )
 
 // naiveEvolve is a straightforward reference implementation of the
-// evolution step, written independently of the optimized evolveInto:
+// evolution step, written independently of the optimized evolveWindow:
 // build the full transition matrix row by row and multiply.
 func naiveEvolve(src, kernel []float64, radius int, outageStay float64) []float64 {
 	n := len(src)
@@ -64,7 +64,7 @@ func TestEvolveMatchesNaiveReference(t *testing.T) {
 		}
 		want := naiveEvolve(src, m.kernel, m.radius, m.outageStay)
 		got := make([]float64, len(src))
-		lo, hi := evolveInto(got, src, m.kernel, m.radius, m.outageStay, 0, len(src))
+		lo, hi := evolveWindow(got, src, m.kernel, m.kernelPad, m.radius, m.outageStay, 0, len(src))
 		for i := range got {
 			if math.Abs(got[i]-want[i]) > 1e-12 {
 				return false
@@ -178,6 +178,147 @@ func TestObserveAtLeastNeverLowersUpperMass(t *testing.T) {
 			ca += after[i]
 			if ca > cb+1e-9 {
 				return false // mass moved downward
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// scatterEvolveReference is the pre-gather evolution implementation,
+// kept verbatim as a reference: the branchy scatter whose accumulation
+// order defined the golden hashes. evolveWindow must reproduce it bit for
+// bit — not approximately — for any support window.
+func scatterEvolveReference(dst, src, kernel []float64, radius int, outageStay float64, lo, hi int) (int, int) {
+	n := len(src)
+	for i := range dst {
+		dst[i] = 0
+	}
+	j := lo
+	if j < 1 {
+		j = 1
+	}
+	for ; j < hi && j < radius; j++ {
+		pj := src[j]
+		if pj == 0 {
+			continue
+		}
+		for k := j - radius; k <= j+radius; k++ {
+			w := kernel[k-j+radius]
+			switch {
+			case k < 0:
+				dst[0] += pj * w
+			case k >= n:
+				dst[n-1] += pj * w
+			default:
+				dst[k] += pj * w
+			}
+		}
+	}
+	for ; j < hi && j < n-radius; j++ {
+		pj := src[j]
+		if pj == 0 {
+			continue
+		}
+		row := dst[j-radius : j-radius+len(kernel)]
+		ker := kernel[:len(row)]
+		for t := range row {
+			row[t] += pj * ker[t]
+		}
+	}
+	for ; j < hi; j++ {
+		pj := src[j]
+		if pj == 0 {
+			continue
+		}
+		for k := j - radius; k <= j+radius; k++ {
+			w := kernel[k-j+radius]
+			switch {
+			case k < 0:
+				dst[0] += pj * w
+			case k >= n:
+				dst[n-1] += pj * w
+			default:
+				dst[k] += pj * w
+			}
+		}
+	}
+	p0 := src[0]
+	if p0 > 0 {
+		dst[0] += p0 * outageStay
+		esc := p0 * (1 - outageStay)
+		for k := -radius; k <= radius; k++ {
+			w := kernel[k+radius]
+			if k <= 0 {
+				dst[0] += esc * w
+			} else if k < n {
+				dst[k] += esc * w
+			} else {
+				dst[n-1] += esc * w
+			}
+		}
+	}
+	newLo := lo - radius
+	if newLo < 1 {
+		newLo = 0
+	}
+	newHi := hi + radius
+	if newHi > n {
+		newHi = n
+	}
+	return newLo, newHi
+}
+
+// TestEvolveGatherMatchesScatter pins the gather rewrite to the scatter
+// reference bit for bit, across bin counts (including n < 2·radius, where
+// both edge folds overlap), kernel radii, support windows and sparse
+// posteriors. Equality here is ==, not a tolerance: the golden hashes of
+// every figure depend on it.
+func TestEvolveGatherMatchesScatter(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	models := []*Model{
+		NewModel(Params{}),
+		NewModel(Params{NumBins: 64, MaxRate: 250}),
+		NewModel(Params{NumBins: 33, MaxRate: 100, Sigma: 700}), // radius > n/2
+		NewModel(Params{NumBins: 128, Sigma: 23}),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := models[rng.Intn(len(models))]
+		n := m.NumBins()
+		src := make([]float64, n)
+		// Random support window; fill it with a mix of zero and nonzero
+		// mass (interior zeros exercise the scatter's skip guard).
+		lo := rng.Intn(n)
+		hi := lo + 1 + rng.Intn(n-lo)
+		var sum float64
+		for j := lo; j < hi; j++ {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			src[j] = rng.Float64()
+			sum += src[j]
+		}
+		if sum > 0 {
+			for j := lo; j < hi; j++ {
+				src[j] /= sum
+			}
+		}
+		want := make([]float64, n)
+		wLo, wHi := scatterEvolveReference(want, src, m.kernel, m.radius, m.outageStay, lo, hi)
+		got := make([]float64, n)
+		gLo, gHi := evolveWindow(got, src, m.kernel, m.kernelPad, m.radius, m.outageStay, lo, hi)
+		if gLo != wLo || gHi != wHi {
+			t.Logf("window mismatch: got [%d,%d) want [%d,%d)", gLo, gHi, wLo, wHi)
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("bin %d: got %x want %x (n=%d radius=%d lo=%d hi=%d)",
+					i, got[i], want[i], n, m.radius, lo, hi)
+				return false
 			}
 		}
 		return true

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestForecastAllMatchesForecastAt: ForecastAll must append, per
+// confidence, exactly the block a standalone ForecastAt call appends —
+// bit-identical, for any order, duplicates and extreme values included.
+// This is the contract that lets Fig9's §5.5 sweep share one evolution.
+func TestForecastAllMatchesForecastAt(t *testing.T) {
+	forecasters := []*DeliveryForecaster{
+		trainedForecaster(t, 6, 11),
+		trainedForecaster(t, 300, 12),
+		trainedForecaster(t, 950, 13),
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(6))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fc := forecasters[rng.Intn(len(forecasters))]
+		nc := 1 + rng.Intn(7)
+		confs := make([]float64, nc)
+		for i := range confs {
+			switch rng.Intn(5) {
+			case 0: // duplicate of an earlier entry
+				confs[i] = confs[rng.Intn(i+1)]
+			case 1: // extremes clampP must absorb
+				confs[i] = []float64{0, 1, 0.999999}[rng.Intn(3)]
+			default:
+				confs[i] = rng.Float64()
+			}
+		}
+		all := fc.ForecastAll(nil, confs)
+		ticks := fc.HorizonTicks()
+		if len(all) != nc*ticks {
+			t.Logf("len(all) = %d, want %d", len(all), nc*ticks)
+			return false
+		}
+		for ci, conf := range confs {
+			want := fc.ForecastAt(nil, conf)
+			got := all[ci*ticks : (ci+1)*ticks]
+			for i := range want {
+				if got[i] != want[i] {
+					t.Logf("conf %v tick %d: ForecastAll %v, ForecastAt %v (confs %v)",
+						conf, i, got[i], want[i], confs)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForecastAllAppendSemantics: ForecastAll appends after an existing
+// prefix, like every other dst-appending API in the package.
+func TestForecastAllAppendSemantics(t *testing.T) {
+	fc := trainedForecaster(t, 100, 14)
+	prefix := []float64{-1, -2}
+	out := fc.ForecastAll(prefix, []float64{0.95, 0.5})
+	if len(out) != 2+2*fc.HorizonTicks() {
+		t.Fatalf("len = %d, want %d", len(out), 2+2*fc.HorizonTicks())
+	}
+	if out[0] != -1 || out[1] != -2 {
+		t.Fatalf("prefix clobbered: %v", out[:2])
+	}
+}
+
+// TestForecastBatchMatchesIndependent: a batch over N distinct forecasters
+// — different rates, confidences and horizons — must equal the
+// concatenation of their independent Forecast calls, bit for bit.
+func TestForecastBatchMatchesIndependent(t *testing.T) {
+	mk := func(p Params, rate float64, seed int64) *DeliveryForecaster {
+		f := NewDeliveryForecaster(NewModel(p))
+		rng := rand.New(rand.NewSource(seed))
+		tau := f.Model().Params().Tick.Seconds()
+		for i := 0; i < 300; i++ {
+			f.Tick(float64(poissonSample(rng, rate*tau)), ObsExact)
+		}
+		return f
+	}
+	fs := []*DeliveryForecaster{
+		mk(Params{}, 6, 21),
+		mk(Params{Confidence: 0.5}, 300, 22),
+		mk(Params{ForecastTicks: 12}, 80, 23), // ragged horizon
+		mk(Params{Confidence: 0.25, ForecastTicks: 3}, 500, 24),
+	}
+	got := ForecastBatch(nil, fs)
+	var want []float64
+	for _, f := range fs {
+		want = f.Forecast(want)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: batch %v, independent %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForecastAllAllocs(t *testing.T) {
+	fc := trainedForecaster(t, 200, 31)
+	confs := []float64{0.95, 0.75, 0.50, 0.25, 0.05}
+	buf := fc.ForecastAll(nil, confs) // warm the scratch
+	if n := testing.AllocsPerRun(200, func() {
+		buf = fc.ForecastAll(buf[:0], confs)
+	}); n != 0 {
+		t.Errorf("ForecastAll allocates %.1f per run, want 0", n)
+	}
+}
+
+func TestForecastBatchAllocs(t *testing.T) {
+	fs := make([]*DeliveryForecaster, 8)
+	for i := range fs {
+		fs[i] = trainedForecaster(t, float64(50+100*i), int64(40+i))
+	}
+	buf := ForecastBatch(nil, fs) // warm the scratch
+	if n := testing.AllocsPerRun(200, func() {
+		buf = ForecastBatch(buf[:0], fs)
+	}); n != 0 {
+		t.Errorf("ForecastBatch allocates %.1f per run, want 0", n)
+	}
+}
+
+// goldenFastForecastHash pins the quantized (FastForecast) mode bit for
+// bit. Exact FP equality with the float64 path cannot hold there, so fast
+// mode carries its own hash instead of the figure hashes: the float32
+// arithmetic is IEEE-exact with no FMA contraction and the flush floors
+// are explicit comparisons, so this digest is platform-independent. Any
+// change to tiny32, tableCut32, the evolution or the mixture arithmetic
+// shows up here (DESIGN.md §12.4).
+const goldenFastForecastHash = "d3460b12728de35cb5f99d6288e454c3880aedf18f72d93e26421699de341bd6"
+
+func TestFastForecastGolden(t *testing.T) {
+	m := NewModel(Params{FastForecast: true})
+	f := NewDeliveryForecaster(m)
+	rng := rand.New(rand.NewSource(99))
+	tau := m.Params().Tick.Seconds()
+	confs := []float64{0.95, 0.75, 0.50, 0.25, 0.05}
+	var b strings.Builder
+	var buf []float64
+	for i := 0; i < 300; i++ {
+		rate := []float64{6, 250, 0, 900}[(i/75)%4]
+		mode := []Observation{ObsExact, ObsExact, ObsAtLeast, ObsSkip}[i%4]
+		f.Tick(float64(poissonSample(rng, rate*tau)), mode)
+		if i%25 == 0 {
+			buf = f.ForecastAll(buf[:0], confs)
+			for _, v := range buf {
+				fmt.Fprintf(&b, "%016x\n", math.Float64bits(v))
+			}
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	if got := hex.EncodeToString(sum[:]); got != goldenFastForecastHash {
+		t.Errorf("fast-mode golden hash drifted:\n got  %s\n want %s", got, goldenFastForecastHash)
+	}
+}
+
+// TestFastForecastAccuracy bounds the quantization error: the fast-mode
+// cautious bound may differ from the exact one by at most one packet at
+// any tick. (float32 carries ~7 digits; the mixture CDF near a quantile
+// has slope well above the rounding noise, so the crossing count moves by
+// at most one.)
+func TestFastForecastAccuracy(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		exact := NewDeliveryForecaster(NewModel(Params{}))
+		fast := NewDeliveryForecaster(NewModel(Params{FastForecast: true}))
+		rng := rand.New(rand.NewSource(seed))
+		tau := exact.Model().Params().Tick.Seconds()
+		for i := 0; i < 300; i++ {
+			rate := []float64{6, 400, 0}[rng.Intn(3)]
+			obs := float64(poissonSample(rng, rate*tau))
+			exact.Tick(obs, ObsExact)
+			fast.Tick(obs, ObsExact)
+			if i%10 != 0 {
+				continue
+			}
+			fe := exact.Forecast(nil)
+			ff := fast.Forecast(nil)
+			for k := range fe {
+				if math.Abs(fe[k]-ff[k]) > 1 {
+					t.Fatalf("seed %d tick %d horizon %d: exact %v fast %v",
+						seed, i, k, fe[k], ff[k])
+				}
+			}
+		}
+	}
+}

@@ -307,14 +307,14 @@ func Fig9(opt Options) ([]Cell, error) {
 		}
 	}
 	data, fb := GenerateTracePair(pair, "up", opt.Duration, opt.Seed)
-	var specs []scenario.Spec
-	for _, conf := range []float64{0.95, 0.75, 0.50, 0.25, 0.05} {
-		spec := opt.baseSpec()
-		spec.Name = fmt.Sprintf("sprout-%d%%", int(conf*100))
-		spec.Scheme = "sprout"
-		spec.Confidence = conf
-		spec.DataTrace, spec.FeedbackTrace = data, fb
-		specs = append(specs, spec)
+	sweep := opt.baseSpec()
+	sweep.Name = "sprout"
+	sweep.Scheme = "sprout"
+	sweep.Confidences = []float64{0.95, 0.75, 0.50, 0.25, 0.05}
+	sweep.DataTrace, sweep.FeedbackTrace = data, fb
+	specs, err := sweep.Sweep()
+	if err != nil {
+		return nil, err
 	}
 	for _, s := range Schemes() {
 		if s == "sprout" {

@@ -101,6 +101,11 @@ type Spec struct {
 	PropDelay Duration `json:"prop_delay,omitempty"`
 	// Confidence overrides Sprout's forecast confidence (§5.5).
 	Confidence float64 `json:"confidence,omitempty"`
+	// Confidences declares a §5.5 confidence sweep: the spec expands
+	// (via Sweep, which Parse applies) into one run per value, named
+	// "<label>-<pct>%". Mutually exclusive with Confidence; a spec
+	// reaching Run must already be expanded.
+	Confidences []float64 `json:"confidences,omitempty"`
 	// Seed drives trace generation and every stochastic component; zero
 	// means 1.
 	Seed int64 `json:"seed,omitempty"`
@@ -203,6 +208,11 @@ func (s Spec) Normalize() (Spec, error) {
 	}
 	if out.Confidence < 0 || out.Confidence >= 1 {
 		return Spec{}, fmt.Errorf("scenario: confidence %v outside [0, 1)", out.Confidence)
+	}
+	if len(out.Confidences) > 0 {
+		// Running an unexpanded sweep would silently take only the
+		// zero-value default; the caller forgot to expand via Sweep.
+		return Spec{}, fmt.Errorf("scenario: confidences sweep must be expanded with Sweep before running")
 	}
 
 	// Resolve schemes and flow ids. A lone auto-placed group keeps its
@@ -327,6 +337,34 @@ func (s Spec) Normalize() (Spec, error) {
 	return out, nil
 }
 
+// Sweep expands the spec's Confidences into one spec per value — each a
+// copy with Confidence set and named "<label>-<pct>%", the §5.5 sweep
+// convention (Fig9's "sprout-95%" ... "sprout-5%"). A spec without
+// Confidences expands to itself. Every expanded spec shares the parent's
+// traces, so a suite can hand the whole sweep to RunAll and the runs
+// proceed in parallel over one trace pair.
+func (s Spec) Sweep() ([]Spec, error) {
+	if len(s.Confidences) == 0 {
+		return []Spec{s}, nil
+	}
+	if s.Confidence != 0 {
+		return nil, fmt.Errorf("scenario: confidence and confidences are mutually exclusive")
+	}
+	base := s.Label()
+	out := make([]Spec, 0, len(s.Confidences))
+	for _, conf := range s.Confidences {
+		if conf <= 0 || conf >= 1 {
+			return nil, fmt.Errorf("scenario: sweep confidence %v outside (0, 1)", conf)
+		}
+		e := s
+		e.Confidences = nil
+		e.Confidence = conf
+		e.Name = fmt.Sprintf("%s-%d%%", base, int(conf*100))
+		out = append(out, e)
+	}
+	return out, nil
+}
+
 // merged returns s with zero-valued fields filled from the file defaults.
 func (s Spec) merged(def Spec) Spec {
 	if s.Scheme == "" && len(s.Groups) == 0 {
@@ -370,6 +408,9 @@ func (s Spec) merged(def Spec) Spec {
 	if s.Confidence == 0 {
 		s.Confidence = def.Confidence
 	}
+	if s.Confidences == nil {
+		s.Confidences = def.Confidences
+	}
 	if s.Seed == 0 {
 		s.Seed = def.Seed
 	}
@@ -399,13 +440,19 @@ func Parse(r io.Reader) ([]Spec, error) {
 	if len(f.Scenarios) == 0 {
 		return nil, fmt.Errorf("scenario: no scenarios in file")
 	}
-	specs := make([]Spec, len(f.Scenarios))
+	specs := make([]Spec, 0, len(f.Scenarios))
 	for i, s := range f.Scenarios {
 		merged := s.merged(f.Defaults)
-		if _, err := merged.Normalize(); err != nil {
+		expanded, err := merged.Sweep()
+		if err != nil {
 			return nil, fmt.Errorf("scenario %d (%s): %w", i, merged.Label(), err)
 		}
-		specs[i] = merged
+		for _, e := range expanded {
+			if _, err := e.Normalize(); err != nil {
+				return nil, fmt.Errorf("scenario %d (%s): %w", i, e.Label(), err)
+			}
+			specs = append(specs, e)
+		}
 	}
 	return specs, nil
 }

@@ -226,3 +226,71 @@ func TestLabel(t *testing.T) {
 		}
 	}
 }
+
+// TestConfidenceSweep pins the §5.5 sweep expansion: names, values,
+// validation, defaults inheritance, and the guard against running an
+// unexpanded sweep.
+func TestConfidenceSweep(t *testing.T) {
+	s := Spec{Name: "sprout", Scheme: "sprout", Link: "Verizon LTE",
+		Confidences: []float64{0.95, 0.75, 0.50, 0.25, 0.05}}
+	expanded, err := s.Sweep()
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	wantNames := []string{"sprout-95%", "sprout-75%", "sprout-50%", "sprout-25%", "sprout-5%"}
+	if len(expanded) != len(wantNames) {
+		t.Fatalf("expanded to %d specs, want %d", len(expanded), len(wantNames))
+	}
+	for i, e := range expanded {
+		if e.Name != wantNames[i] {
+			t.Errorf("spec %d name = %q, want %q", i, e.Name, wantNames[i])
+		}
+		if e.Confidence != s.Confidences[i] || e.Confidences != nil {
+			t.Errorf("spec %d confidence = %v / %v", i, e.Confidence, e.Confidences)
+		}
+		if _, err := e.Normalize(); err != nil {
+			t.Errorf("spec %d does not normalize: %v", i, err)
+		}
+	}
+
+	// A spec without a sweep expands to itself.
+	plain := Spec{Scheme: "sprout", Link: "Verizon LTE"}
+	if one, err := plain.Sweep(); err != nil || len(one) != 1 || one[0].Scheme != "sprout" {
+		t.Errorf("plain spec Sweep = %+v, %v", one, err)
+	}
+
+	// Unexpanded sweeps must not reach Run.
+	if _, err := s.Normalize(); err == nil || !strings.Contains(err.Error(), "Sweep") {
+		t.Errorf("Normalize accepted unexpanded sweep (err %v)", err)
+	}
+	// Confidence and Confidences are mutually exclusive.
+	bad := s
+	bad.Confidence = 0.5
+	if _, err := bad.Sweep(); err == nil {
+		t.Error("Sweep accepted confidence + confidences")
+	}
+	// Sweep values outside (0, 1) fail loudly.
+	bad = s
+	bad.Confidences = []float64{1.0}
+	if _, err := bad.Sweep(); err == nil {
+		t.Error("Sweep accepted confidence 1.0")
+	}
+
+	// Parse expands sweeps (inherited from defaults) into separate specs.
+	specs, err := Parse(strings.NewReader(`{
+		"defaults": {"link": "Verizon LTE", "confidences": [0.95, 0.05]},
+		"scenarios": [{"name": "s", "scheme": "sprout"}, {"scheme": "cubic", "confidences": []}]
+	}`))
+	if err != nil {
+		t.Fatalf("Parse sweep: %v", err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("Parse expanded to %d specs, want 3 (sweep of 2 + plain cubic)", len(specs))
+	}
+	if specs[0].Name != "s-95%" || specs[1].Name != "s-5%" {
+		t.Errorf("sweep names = %q, %q", specs[0].Name, specs[1].Name)
+	}
+	if specs[2].Confidence != 0 {
+		t.Errorf("cubic picked up a confidence: %+v", specs[2])
+	}
+}

@@ -193,12 +193,18 @@ func (l *Loop) Reschedule(t Timer, d time.Duration, fn func()) Timer {
 	if at < l.now {
 		at = l.now
 	}
-	if s := t.s; s != nil && s.loop == l && s.gen == t.gen && s.idx >= 0 {
-		s.at, s.seq, s.fn = at, l.seq, fn
-		l.seq++
-		s.gen++ // invalidate the old handle
-		l.fix(int(s.idx))
-		return Timer{s: s, gen: s.gen}
+	if s := t.s; s != nil && s.loop == l {
+		if s.gen == t.gen && s.idx >= 0 {
+			s.at, s.seq, s.fn = at, l.seq, fn
+			l.seq++
+			s.gen++ // invalidate the old handle
+			l.fix(int(s.idx))
+			return Timer{s: s, gen: s.gen}
+		}
+		// A stale handle on this loop (the periodic pattern: the event
+		// fired, retiring its slot, before the callback re-armed it) has
+		// nothing to stop — schedule fresh without the Stop round trip.
+		return l.At(at, fn)
 	}
 	t.Stop()
 	return l.At(at, fn)
@@ -261,9 +267,35 @@ func (l *Loop) Step() bool {
 // Run executes events in order until the event queue is empty or the next
 // event is later than until. The clock finishes at until (or at the last
 // event time if that is later — it never rewinds).
+//
+// The root pop is inlined rather than delegated to Step/remove: Run is the
+// innermost driver of every experiment, and removing the root never needs
+// the general fix() — the tail element moved there can only sift down.
 func (l *Loop) Run(until time.Duration) {
-	for len(l.heap) > 0 && l.heap[0].at <= until {
-		l.Step()
+	for {
+		h := l.heap
+		n := len(h) - 1
+		if n < 0 {
+			break
+		}
+		s := h[0]
+		if s.at > until {
+			break
+		}
+		if n > 0 {
+			t := h[n]
+			h[0] = t
+			t.idx = 0
+		}
+		h[n] = nil
+		l.heap = h[:n]
+		if n > 1 {
+			l.siftDown(0)
+		}
+		l.now = s.at
+		fn := s.fn
+		l.retire(s) // before fn so a re-arm inside fn can reuse the hot slot
+		fn()
 	}
 	if until > l.now {
 		l.now = until
@@ -331,9 +363,13 @@ func (l *Loop) fix(i int) {
 	}
 }
 
+// siftUp moves the entry at i toward the root. Callers guarantee
+// h[i] == s with s.idx == i on entry, so an unmoved entry needs no
+// stores at all — the common case for events scheduled in time order.
 func (l *Loop) siftUp(i int) {
 	h := l.heap
 	s := h[i]
+	start := i
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !slotLess(s, h[parent]) {
@@ -343,8 +379,10 @@ func (l *Loop) siftUp(i int) {
 		h[i].idx = int32(i)
 		i = parent
 	}
-	h[i] = s
-	s.idx = int32(i)
+	if i != start {
+		h[i] = s
+		s.idx = int32(i)
+	}
 }
 
 // siftDown moves the entry at i toward the leaves; it reports whether the
@@ -369,7 +407,10 @@ func (l *Loop) siftDown(i int) bool {
 		h[i].idx = int32(i)
 		i = child
 	}
+	if i == start {
+		return false
+	}
 	h[i] = s
 	s.idx = int32(i)
-	return i != start
+	return true
 }

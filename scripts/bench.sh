@@ -2,28 +2,31 @@
 # bench.sh — run the perf-tracking benchmarks and emit BENCH_<PR>.json.
 #
 # Usage:
-#   scripts/bench.sh              # writes BENCH_5.json in the repo root
+#   scripts/bench.sh              # writes BENCH_6.json in the repo root
 #   scripts/bench.sh out.json     # custom output path
 #   BENCHTIME=200ms scripts/bench.sh   # quick smoke (CI uses this)
 #
 # The JSON records ns/op and allocs/op for the tracked hot paths — the
-# Bayesian filter tick, the cautious forecast, the event loop (fresh-timer
-# and reused-timer patterns) — plus two macro-benchmarks: the reduced
-# scheme×link matrix on materialized traces, and the same grid driven by
-# streaming delivery processes (PR 5's on-demand opportunity path). The
-# "baseline" block holds the PR-4 recorded numbers those were measured
+# Bayesian filter tick, the cautious forecast, the fused §5.5 confidence
+# sweep and the batched multi-flow forecast (both new in PR 6), the event
+# loop (fresh-timer and reused-timer patterns) — plus two
+# macro-benchmarks: the reduced scheme×link matrix on materialized
+# traces, and the same grid driven by streaming delivery processes. The
+# "baseline" block holds the PR-5 recorded numbers those were measured
 # against, so the perf trajectory stays auditable across PRs.
 #
-# Both macro allocs/op figures are guarded: the matrix at the PR-4
-# recorded value (the world-reuse win), the streaming matrix at the PR-5
-# recorded value (the pull path must stay allocation-flat). A regression
-# of more than 20% over either recorded value fails this script — CI's
-# bench-smoke step turns red instead of silently eroding the wins.
+# Three allocs/op figures are guarded: the matrix and streaming macros at
+# their recorded values (world reuse and the pull path must stay
+# allocation-flat), and — new in PR 6 — the cautious forecast at zero
+# (the fused evolve→CDF pass must never touch the heap). A regression of
+# more than 20% over a recorded value (any alloc at all, for a recorded
+# zero) fails this script — CI's bench-smoke step turns red instead of
+# silently eroding the wins.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_5.json}
+OUT=${1:-BENCH_6.json}
 BENCHTIME=${BENCHTIME:-1s}
 MATRIX_BENCHTIME=${MATRIX_BENCHTIME:-1x}
 # allocs/op recorded on the PR-5 dev machine (deterministic at
@@ -38,7 +41,7 @@ TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
 echo "bench: micro (benchtime $BENCHTIME)..." >&2
-go test -run '^$' -bench 'BenchmarkCoreTick$|BenchmarkCoreForecast$' \
+go test -run '^$' -bench 'BenchmarkCoreTick$|BenchmarkCoreForecast$|BenchmarkCoreForecastFast$|BenchmarkForecastSweep$|BenchmarkForecastBatch$' \
     -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP" >&2
 go test -run '^$' -bench 'BenchmarkLoopThroughput$|BenchmarkLoopTimerReuse$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/sim/ | tee -a "$TMP" >&2
@@ -59,18 +62,21 @@ awk -v out="$OUT" -v mguard="$MATRIX_ALLOCS_RECORDED" -v sguard="$STREAMING_ALLO
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 5,\n"
-    printf "  \"description\": \"streaming delivery processes: on-demand opportunity pull through trace/link/scenario/engine, O(1) trace memory\",\n"
+    printf "  \"pr\": 6,\n"
+    printf "  \"description\": \"fused evolve+CDF forecast passes, shared-evolution confidence sweeps (ForecastAll), batched multi-flow inference (ForecastBatch), opt-in quantized fast mode\",\n"
     printf "  \"baseline\": {\n"
-    printf "    \"comment\": \"PR-4 recorded numbers (BENCH_4.json) on the PR-4/PR-5 dev machine; no streaming benchmark existed before PR 5\",\n"
-    printf "    \"BenchmarkCoreTick\": {\"ns_per_op\": 15394, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkCoreForecast\": {\"ns_per_op\": 101148, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkLoopThroughput\": {\"ns_per_op\": 13.97, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkLoopTimerReuse\": {\"ns_per_op\": 17.36, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkMatrixParallel\": {\"ns_per_op\": 1472195901, \"allocs_per_op\": 21220}\n"
+    printf "    \"comment\": \"PR-5 recorded numbers (BENCH_5.json) on the PR-5/PR-6 dev machine; no sweep/batch/fast benchmark existed before PR 6\",\n"
+    printf "    \"BenchmarkCoreTick\": {\"ns_per_op\": 17070, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkCoreForecast\": {\"ns_per_op\": 102111, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkLoopThroughput\": {\"ns_per_op\": 14.65, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkLoopTimerReuse\": {\"ns_per_op\": 19.74, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkMatrixParallel\": {\"ns_per_op\": 1407893640, \"allocs_per_op\": 3528},\n"
+    printf "    \"BenchmarkStreamingMatrix\": {\"ns_per_op\": 702074518, \"allocs_per_op\": 1584}\n"
     printf "  },\n"
     printf "  \"guard\": {\n"
-    printf "    \"comment\": \"bench-smoke fails if either macro allocs/op regresses >20%% over its recorded value\",\n"
+    printf "    \"comment\": \"bench-smoke fails if a guarded allocs/op regresses >20%% over its recorded value; the forecast hot path is pinned at zero\",\n"
+    printf "    \"BenchmarkCoreForecast_allocs_per_op_recorded\": 0,\n"
+    printf "    \"BenchmarkCoreForecast_allocs_per_op_max\": 0,\n"
     printf "    \"BenchmarkMatrixParallel_allocs_per_op_recorded\": %d,\n", mguard
     printf "    \"BenchmarkMatrixParallel_allocs_per_op_max\": %d,\n", int(mguard * 1.2)
     printf "    \"BenchmarkStreamingMatrix_allocs_per_op_recorded\": %d,\n", sguard
@@ -104,7 +110,7 @@ cat "$OUT"
 gate() {
     local bench=$1 recorded=$2
     local measured
-    measured=$(awk -v b="^$bench" '$0 ~ b {
+    measured=$(awk -v b="^$bench(-[0-9]+)?$" '$1 ~ b {
         for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") print $i
     }' "$TMP" | head -n1)
     if [ -z "${measured:-}" ]; then
@@ -119,5 +125,6 @@ gate() {
     fi
     echo "bench: $bench allocs/op $measured within guard $limit" >&2
 }
+gate BenchmarkCoreForecast 0
 gate BenchmarkMatrixParallel "$MATRIX_ALLOCS_RECORDED"
 gate BenchmarkStreamingMatrix "$STREAMING_ALLOCS_RECORDED"

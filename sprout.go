@@ -93,6 +93,21 @@ func NewDeliveryForecaster(m *Model) *DeliveryForecaster {
 	return core.NewDeliveryForecaster(m)
 }
 
+// ForecastBatch runs several forecasters' cautious forecasts with their
+// per-tick evolutions interleaved over the shared immutable Poisson table
+// — the cache-friendly entry point a co-scheduled fleet world consumes.
+func ForecastBatch(dst []float64, fs []*DeliveryForecaster) []float64 {
+	return core.ForecastBatch(dst, fs)
+}
+
+// TableCacheStats reports the process-wide forecast-table cache counters:
+// cache hits, misses that built and stored a table, and uncached builds
+// forced by cache overflow (each of which silently costs a full table
+// rebuild per forecaster).
+func TableCacheStats() (hits, misses, uncached int64) {
+	return core.TableCacheStats()
+}
+
 // NewEWMAForecaster builds the Sprout-EWMA rate tracker; zero arguments
 // select the defaults (gain 1/8, 20 ms tick, 8-tick horizon).
 func NewEWMAForecaster(gain float64, tick time.Duration, horizon int) *EWMAForecaster {
