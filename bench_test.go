@@ -196,6 +196,33 @@ func benchmarkMatrix(b *testing.B, workers int) {
 func BenchmarkMatrixSerial(b *testing.B)   { benchmarkMatrix(b, 1) }
 func BenchmarkMatrixParallel(b *testing.B) { benchmarkMatrix(b, 0) }
 
+// BenchmarkShardedMatrix runs the same reduced matrix as
+// BenchmarkMatrixParallel decomposed over two in-process shards: two
+// engines splitting the cores, per-shard JSONL streams, index-ordered
+// merge and decode. The delta against BenchmarkMatrixParallel is the
+// whole shard layer's overhead (codec + merge + second engine); the
+// merged results are byte-identical (TestMatrixGoldenHashSharded).
+// Tracked in BENCH_7.json with an allocs/op guard. On multi-process
+// deployments the same decomposition spreads across hosts, where each
+// shard's wall-clock is its own grid share — that is the ≥1.5× scaling
+// path on ≥4 cores; in-process on one box it is at parity with the
+// already work-conserving parallel engine.
+func BenchmarkShardedMatrix(b *testing.B) {
+	opt := benchOpt
+	opt.Duration, opt.Skip = 30*time.Second, 8*time.Second
+	var m *harness.Matrix
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = harness.RunMatrixSharded(opt, []string{"sprout", "cubic", "skype"}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Stats.Engine.Shards), "shards")
+	b.ReportMetric(float64(m.Stats.Engine.Workers), "workers")
+	b.ReportMetric(float64(m.Stats.TracesGenerated), "traces-generated")
+}
+
 // BenchmarkStreamingMatrix pushes the same reduced grid through streaming
 // delivery processes instead of materialized traces: 3 schemes × 4
 // downlinks at 30 s, every opportunity pulled on demand. Tracked in

@@ -53,38 +53,15 @@ func main() {
 	parallel := flag.Int("parallel", 0, "trace-generation workers for -gen: 0 = all cores, 1 = serial")
 	flag.Parse()
 
-	// Each direction's opportunity source: a materialized trace, or (with
-	// -stream) the streaming model pulled on demand.
-	type shaping struct {
-		name    string
-		meanBps float64
-		trace   *trace.Trace
-		process trace.DeliveryProcess
-		seed    int64
-	}
-	var downSrc, upSrc shaping
-	if *stream {
-		if *gen == "" {
-			fmt.Fprintln(os.Stderr, "cellsim: -stream requires -gen")
-			os.Exit(2)
-		}
-		pair, ok := findNetwork(*gen)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "cellsim: unknown network %q\n", *gen)
-			os.Exit(1)
-		}
-		downSrc = shaping{name: pair.Down.Name, meanBps: pair.Down.MeanRate * trace.MTU * 8,
-			process: pair.Down.Process(), seed: engine.DeriveSeed(*seed, pair.Name, "down")}
-		upSrc = shaping{name: pair.Up.Name, meanBps: pair.Up.MeanRate * trace.MTU * 8,
-			process: pair.Up.Process(), seed: engine.DeriveSeed(*seed, pair.Name, "up")}
-	} else {
-		down, up, err := loadTraces(*downFile, *upFile, *gen, *genDur, *seed, *parallel)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cellsim:", err)
-			os.Exit(1)
-		}
-		downSrc = shaping{name: down.Name, meanBps: down.MeanRateBps(), trace: down}
-		upSrc = shaping{name: up.Name, meanBps: up.MeanRateBps(), trace: up}
+	downSrc, upSrc, err := resolveShaping(shapingArgs{
+		Stream: *stream, Gen: *gen, DownFile: *downFile, UpFile: *upFile,
+		GenDur: *genDur, Seed: *seed, Parallel: *parallel,
+	})
+	if err != nil {
+		// One-line diagnosis, non-zero exit: malformed arguments are a
+		// usage error, never a panic.
+		fmt.Fprintln(os.Stderr, "cellsim:", err)
+		os.Exit(2)
 	}
 
 	clock := realtime.New()
@@ -137,6 +114,52 @@ func main() {
 		go reportLoop(clock, *stats, downLink, upLink)
 	}
 	select {} // run until killed
+}
+
+// shaping is one direction's opportunity source: a materialized trace,
+// or (with -stream) the streaming model pulled on demand.
+type shaping struct {
+	name    string
+	meanBps float64
+	trace   *trace.Trace
+	process trace.DeliveryProcess
+	seed    int64
+}
+
+// shapingArgs is the flag subset that selects the opportunity sources.
+type shapingArgs struct {
+	Stream           bool
+	Gen              string
+	DownFile, UpFile string
+	GenDur           time.Duration
+	Seed             int64
+	Parallel         int
+}
+
+// resolveShaping validates the source flags and builds both directions'
+// shaping, returning a one-line error on any malformed combination so
+// main can exit non-zero without a stack trace.
+func resolveShaping(a shapingArgs) (downSrc, upSrc shaping, err error) {
+	if a.Stream {
+		if a.Gen == "" {
+			return shaping{}, shaping{}, fmt.Errorf("-stream requires -gen")
+		}
+		pair, ok := findNetwork(a.Gen)
+		if !ok {
+			return shaping{}, shaping{}, fmt.Errorf("unknown network %q (see sproutbench -list-schemes for canonical links)", a.Gen)
+		}
+		downSrc = shaping{name: pair.Down.Name, meanBps: pair.Down.MeanRate * trace.MTU * 8,
+			process: pair.Down.Process(), seed: engine.DeriveSeed(a.Seed, pair.Name, "down")}
+		upSrc = shaping{name: pair.Up.Name, meanBps: pair.Up.MeanRate * trace.MTU * 8,
+			process: pair.Up.Process(), seed: engine.DeriveSeed(a.Seed, pair.Name, "up")}
+		return downSrc, upSrc, nil
+	}
+	down, up, err := loadTraces(a.DownFile, a.UpFile, a.Gen, a.GenDur, a.Seed, a.Parallel)
+	if err != nil {
+		return shaping{}, shaping{}, err
+	}
+	return shaping{name: down.Name, meanBps: down.MeanRateBps(), trace: down},
+		shaping{name: up.Name, meanBps: up.MeanRateBps(), trace: up}, nil
 }
 
 func findNetwork(name string) (trace.NetworkPair, bool) {

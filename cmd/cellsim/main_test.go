@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResolveShaping is the satellite contract for cellsim: every
+// malformed source-flag combination yields a one-line error (for a
+// non-zero exit), never a panic, and the valid streaming combination
+// resolves both directions.
+func TestResolveShaping(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    shapingArgs
+		wantErr string // substring, "" = success
+	}{
+		{name: "stream without gen", args: shapingArgs{Stream: true}, wantErr: "-stream requires -gen"},
+		{name: "stream unknown network", args: shapingArgs{Stream: true, Gen: "Carrier Pigeon"}, wantErr: "unknown network"},
+		{name: "no sources at all", args: shapingArgs{}, wantErr: "need -down and -up"},
+		{name: "down without up", args: shapingArgs{DownFile: "x.trace"}, wantErr: "need -down and -up"},
+		{name: "unknown gen network", args: shapingArgs{Gen: "Carrier Pigeon"}, wantErr: "unknown network"},
+		{name: "missing trace file", args: shapingArgs{DownFile: "/nonexistent/a.trace", UpFile: "/nonexistent/b.trace"}, wantErr: "no such file"},
+		{name: "stream valid", args: shapingArgs{Stream: true, Gen: "Verizon LTE", Seed: 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			down, up, err := resolveShaping(c.args)
+			if c.wantErr != "" {
+				if err == nil {
+					t.Fatalf("got (%q, %q), want error containing %q", down.name, up.name, c.wantErr)
+				}
+				if !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, c.wantErr)
+				}
+				if strings.Contains(err.Error(), "\n") {
+					t.Fatalf("error %q is not one line", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if down.process == nil || up.process == nil {
+				t.Fatal("streaming mode must resolve a process per direction")
+			}
+			if down.name == "" || up.name == "" {
+				t.Fatal("resolved shaping must carry link names")
+			}
+			if down.seed == up.seed {
+				t.Fatal("directions must derive independent seeds")
+			}
+		})
+	}
+}

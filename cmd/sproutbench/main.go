@@ -71,6 +71,11 @@ func main() {
 	downFile := flag.String("down", "", "run every scheme on this mahimahi trace (data direction) instead of the canonical suite")
 	upFile := flag.String("up", "", "reverse-direction mahimahi trace (with -down)")
 	scenarioFile := flag.String("scenario", "", "run the experiment specs in this JSON scenario file instead of the canonical suite")
+	shardFlag := flag.String("shard", "", "worker mode: run shard i/n of the -scenario grid and stream JSONL records to -out")
+	outFlag := flag.String("out", "", "JSONL destination for -shard (default stdout); an existing log is resumed, not recomputed")
+	shardsFlag := flag.Int("shards", 0, "parent mode: fan the -scenario grid across this many child processes and merge their JSONL")
+	checkpointFlag := flag.String("checkpoint", "", "checkpoint directory for -shards: a killed sweep rerun resumes from the shard logs here")
+	abFlag := flag.String("ab", "", "A/B mode: two scenario files \"specA.json,specB.json\"; sharded sweeps with p50/p95/p99 rollups and a verdict")
 	repeat := flag.Int("repeat", 1, "rerun the selected workload this many times in-process (repeats reuse the engine's pooled per-worker worlds; aggregate stats print at the end)")
 	listSchemes := flag.Bool("list-schemes", false, "list every registered scheme and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
@@ -107,6 +112,11 @@ func main() {
 		runListSchemes()
 		return
 	}
+	mode, err := parseShardFlags(*shardFlag, *shardsFlag, *abFlag, *scenarioFile, *outFlag, *checkpointFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sproutbench:", err)
+		fatalExit(2)
+	}
 	if *repeat < 1 {
 		*repeat = 1
 	}
@@ -116,6 +126,19 @@ func main() {
 	// allocation-flat — the world-reuse win, observable from the CLI.
 	eng := engine.New(*parallel)
 	opt := harness.Options{Duration: *duration, Skip: *skip, Seed: *seed, Workers: *parallel, Engine: eng}
+
+	if mode.Shard != nil {
+		labeled("shard", func() { runShardWorker(*scenarioFile, *mode.Shard, mode.Out, opt) })
+		return
+	}
+	if len(mode.AB) == 2 {
+		labeled("ab", func() { runAB(mode, opt) })
+		return
+	}
+	if mode.Shards > 1 {
+		labeled("sharded", func() { runShardParent(*scenarioFile, mode, opt, *parallel) })
+		return
+	}
 
 	runOnce := func() {
 		if *scenarioFile != "" {
@@ -255,23 +278,8 @@ func runListSchemes() {
 // canonical trace length: -duration 1h costs the same trace memory as
 // -duration 150s, which the trace-memory summary line makes visible.
 func runScenarioFile(path string, opt harness.Options) {
-	specs, err := scenario.LoadFile(path)
+	specs, streaming, err := loadScenarioSpecs(path, opt)
 	check(err)
-	streaming := 0
-	for i := range specs {
-		if specs[i].Duration == 0 {
-			specs[i].Duration = scenario.Duration(opt.Duration)
-		}
-		if specs[i].Skip == 0 {
-			specs[i].Skip = scenario.Duration(opt.Skip)
-		}
-		if specs[i].Seed == 0 {
-			specs[i].Seed = opt.Seed
-		}
-		if specs[i].Process != nil {
-			streaming++
-		}
-	}
 	results, stats, cache, err := scenario.RunAllCached(context.Background(), opt.Engine, specs)
 	check(err)
 	fmt.Fprintf(os.Stderr, "scenarios: %s\n", stats)
@@ -279,40 +287,7 @@ func runScenarioFile(path string, opt harness.Options) {
 	fmt.Fprintf(os.Stderr,
 		"trace memory: %d materialized pair(s), %d opportunities (%.2f MiB); %d streaming scenario(s) at O(1)\n",
 		pairs, ops, float64(bytes)/(1<<20), streaming)
-
-	header(fmt.Sprintf("Scenarios from %s", path))
-	fmt.Printf("%-40s %12s %16s %6s %12s\n", "scenario", "tput (kbps)", "self-delay (ms)", "util", "delay95 (ms)")
-	for _, r := range results {
-		tputKbps := r.Metrics.ThroughputBps / 1000
-		selfMs := fmt.Sprintf("%.0f", float64(r.Metrics.SelfInflicted95)/float64(time.Millisecond))
-		util := fmt.Sprintf("%.2f", r.Metrics.Utilization)
-		if r.Spec.Tunnel {
-			// Tunnel runs have no link-level aggregate metrics (the
-			// link carries Sprout frames, not client data): sum the
-			// client flows for throughput and leave the trace-relative
-			// columns blank rather than printing zeros that read as
-			// perfect scores.
-			tputKbps = 0
-			for _, f := range r.Flows {
-				tputKbps += f.ThroughputBps / 1000
-			}
-			selfMs, util = "-", "-"
-		}
-		fmt.Printf("%-40s %12.0f %16s %6s %12.0f\n",
-			r.Spec.Label(), tputKbps, selfMs, util,
-			float64(r.Delay95)/float64(time.Millisecond))
-		if len(r.Flows) > 1 {
-			for _, f := range r.Flows {
-				fmt.Printf("    flow %-3d %-12s %12.0f %29s %12.0f\n",
-					f.Flow, f.Scheme, f.ThroughputBps/1000, "",
-					float64(f.Delay95)/float64(time.Millisecond))
-			}
-			fmt.Printf("    Jain fairness %.3f\n", r.JainIndex)
-		}
-		if r.Spec.Tunnel {
-			fmt.Printf("    tunnel head drops: %d\n", r.HeadDrops)
-		}
-	}
+	printScenarioResults(fmt.Sprintf("Scenarios from %s", path), results)
 }
 
 // flushProfiles stops and writes any active -cpuprofile/-memprofile

@@ -1,0 +1,361 @@
+// Sharded sweeps from the CLI: -shard i/n runs one partition of a
+// -scenario grid and streams JSONL; -shards n orchestrates n child
+// processes (retrying failures with backoff) and merges their logs;
+// -ab a.json,b.json fans two variant grids across shards and reports
+// per-variant p50/p95/p99 rollups with a verdict. See DESIGN.md §13.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"sprout/internal/engine"
+	"sprout/internal/harness"
+	"sprout/internal/scenario"
+	"sprout/internal/stats"
+)
+
+// shardMode is the validated sharding configuration parsed from flags.
+type shardMode struct {
+	// Shard is set in worker mode (-shard i/n): run one partition.
+	Shard *engine.Shard
+	// Out is the worker's JSONL destination ("" = stdout).
+	Out string
+	// Shards > 1 is parent mode: fan out child processes and merge.
+	Shards int
+	// Checkpoint is the shard-log directory ("" = temp, discarded).
+	Checkpoint string
+	// AB holds the two variant scenario files in A/B mode.
+	AB []string
+}
+
+// parseShardFlags validates the sharding flag combination, returning a
+// one-line error (never panicking) on anything malformed — the CLI turns
+// that into exit code 2.
+func parseShardFlags(shardStr string, shards int, ab, scenarioFile, out, checkpoint string) (shardMode, error) {
+	var m shardMode
+	if shards < 0 {
+		return m, fmt.Errorf("-shards must be >= 0, got %d", shards)
+	}
+	if ab != "" {
+		parts := strings.Split(ab, ",")
+		if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
+			return m, fmt.Errorf("-ab wants exactly two scenario files as \"specA.json,specB.json\", got %q", ab)
+		}
+		if shardStr != "" {
+			return m, fmt.Errorf("-ab and -shard are mutually exclusive")
+		}
+		if scenarioFile != "" {
+			return m, fmt.Errorf("-ab replaces -scenario; give the variant files to -ab only")
+		}
+		m.AB = []string{strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])}
+		m.Shards = shards
+		return m, nil
+	}
+	if shardStr != "" {
+		sh, err := engine.ParseShard(shardStr)
+		if err != nil {
+			return m, err
+		}
+		if scenarioFile == "" {
+			return m, fmt.Errorf("-shard runs one partition of a -scenario grid; -scenario is required")
+		}
+		if shards > 0 {
+			return m, fmt.Errorf("-shard (worker mode) and -shards (parent mode) are mutually exclusive")
+		}
+		m.Shard = &sh
+		m.Out = out
+		return m, nil
+	}
+	if shards > 1 {
+		if scenarioFile == "" {
+			return m, fmt.Errorf("-shards fans a -scenario grid across child processes; -scenario is required")
+		}
+		m.Shards = shards
+		m.Checkpoint = checkpoint
+	}
+	return m, nil
+}
+
+// loadScenarioSpecs loads a scenario file and fills unset per-spec fields
+// from the CLI options — in the parent, the children and a direct run
+// alike, so every participant compiles the identical grid (and therefore
+// the identical checkpoint fingerprint).
+func loadScenarioSpecs(path string, opt harness.Options) ([]scenario.Spec, int, error) {
+	specs, err := scenario.LoadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	streaming := 0
+	for i := range specs {
+		if specs[i].Duration == 0 {
+			specs[i].Duration = scenario.Duration(opt.Duration)
+		}
+		if specs[i].Skip == 0 {
+			specs[i].Skip = scenario.Duration(opt.Skip)
+		}
+		if specs[i].Seed == 0 {
+			specs[i].Seed = opt.Seed
+		}
+		if specs[i].Process != nil {
+			streaming++
+		}
+	}
+	return specs, streaming, nil
+}
+
+// runShardWorker is the child half of a multi-process sweep: compile the
+// grid, run the owned partition, append records to the JSONL log. An
+// existing log resumes — completed indexes are skipped, a torn tail from
+// a killed predecessor is truncated — so the parent's retry loop never
+// recomputes finished jobs.
+func runShardWorker(scenarioFile string, sh engine.Shard, out string, opt harness.Options) {
+	specs, _, err := loadScenarioSpecs(scenarioFile, opt)
+	check(err)
+	var done []int
+	var w *engine.RecordWriter
+	if out == "" {
+		w = engine.NewRecordWriter(os.Stdout)
+	} else {
+		recs, f, err := engine.OpenShardLog(out)
+		check(err)
+		defer f.Close()
+		done = engine.CompletedIndexes(recs)
+		w = engine.NewRecordWriter(f)
+	}
+	st, err := scenario.RunShard(context.Background(), opt.Engine, specs, sh, done, w)
+	check(err)
+	fmt.Fprintf(os.Stderr, "shard %s: %d of %d jobs (%d resumed); %s\n",
+		sh, sh.Size(len(specs)), len(specs), len(done), st)
+}
+
+// childWorkers splits the machine width across n children the same way
+// the in-process runner does, so a fan-out saturates the host without
+// oversubscribing it n times.
+func childWorkers(parallel, shard, shards int) int {
+	if parallel != 0 {
+		return parallel
+	}
+	procs := runtime.GOMAXPROCS(0)
+	w := procs / shards
+	if shard < procs%shards {
+		w++
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+const (
+	shardAttempts = 3
+	shardBackoff  = 500 * time.Millisecond
+)
+
+// runShardParent orchestrates a multi-process sweep: stamp the checkpoint
+// directory, spawn one child per shard (each appending to its own log),
+// retry failed shards with doubling backoff, merge the logs by global
+// index and print the standard scenario table. With -checkpoint the
+// directory persists, so a killed parent rerun resumes instead of
+// recomputing.
+func runShardParent(scenarioFile string, mode shardMode, opt harness.Options, parallel int) {
+	specs, streaming, err := loadScenarioSpecs(scenarioFile, opt)
+	check(err)
+	dir := mode.Checkpoint
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "sproutbench-shards-*")
+		check(err)
+		defer os.RemoveAll(dir)
+	}
+	n := mode.Shards
+	check(engine.EnsureManifest(dir, engine.Manifest{
+		Fingerprint: scenario.Fingerprint(specs, n), Shards: n, Jobs: len(specs),
+	}))
+
+	exe, err := os.Executable()
+	check(err)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = runChildWithRetry(exe, scenarioFile, engine.Shard{Index: i, Count: n},
+				engine.ShardLogPath(dir, i), opt, childWorkers(parallel, i, n))
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		check(err)
+	}
+	results, err := scenario.MergeShardLogs(dir, specs, n)
+	check(err)
+	fmt.Fprintf(os.Stderr, "sharded: %d jobs across %d child processes in %v; %d streaming scenario(s)\n",
+		len(specs), n, time.Since(start).Round(time.Millisecond), streaming)
+	printScenarioResults(fmt.Sprintf("Scenarios from %s (%d shards)", scenarioFile, n), results)
+}
+
+// runChildWithRetry launches one shard child, retrying on failure with
+// doubling backoff. The child's own resume logic makes retries cheap:
+// every attempt appends only the jobs its log is still missing.
+func runChildWithRetry(exe, scenarioFile string, sh engine.Shard, logPath string, opt harness.Options, workers int) error {
+	backoff := shardBackoff
+	var lastErr error
+	for attempt := 1; attempt <= shardAttempts; attempt++ {
+		cmd := exec.Command(exe,
+			"-scenario", scenarioFile,
+			"-shard", sh.String(),
+			"-out", logPath,
+			"-duration", opt.Duration.String(),
+			"-skip", opt.Skip.String(),
+			"-seed", fmt.Sprint(opt.Seed),
+			"-parallel", fmt.Sprint(workers),
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err == nil {
+			return nil
+		} else {
+			lastErr = fmt.Errorf("shard %s (attempt %d/%d): %w", sh, attempt, shardAttempts, err)
+			fmt.Fprintf(os.Stderr, "sproutbench: %v; retrying in %v\n", lastErr, backoff)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	return lastErr
+}
+
+// abVariant is one side of an A/B comparison after its sweep completes.
+type abVariant struct {
+	Name    string
+	File    string
+	Runs    int
+	TputP   []float64 // p50/p95/p99 throughput, kbps
+	DelayP  []float64 // p50/p95/p99 delay95, ms
+	Elapsed time.Duration
+}
+
+// rollup computes the per-variant quantiles from merged results.
+func rollup(name, file string, results []scenario.Result, elapsed time.Duration) abVariant {
+	tput := make([]float64, len(results))
+	delay := make([]float64, len(results))
+	for i, r := range results {
+		tput[i] = r.Metrics.ThroughputBps / 1000
+		delay[i] = float64(r.Delay95) / float64(time.Millisecond)
+	}
+	return abVariant{
+		Name: name, File: file, Runs: len(results),
+		TputP:   stats.Quantiles(tput, 0.5, 0.95, 0.99),
+		DelayP:  stats.Quantiles(delay, 0.5, 0.95, 0.99),
+		Elapsed: elapsed,
+	}
+}
+
+// verdict renders the one-line comparison: A wins if its median
+// throughput is no lower and its median delay no higher than B's (with at
+// least one strict), and symmetrically for B; anything else is mixed.
+func verdict(a, b abVariant) string {
+	dt := pctDelta(a.TputP[0], b.TputP[0])
+	dd := pctDelta(a.DelayP[0], b.DelayP[0])
+	rel := fmt.Sprintf("A vs B: %+.1f%% p50 throughput, %+.1f%% p50 delay95", dt, dd)
+	switch {
+	case dt == 0 && dd == 0:
+		return rel + " — tie"
+	case dt >= 0 && dd <= 0:
+		return rel + " — A wins"
+	case dt <= 0 && dd >= 0:
+		return rel + " — B wins"
+	default:
+		return rel + " — mixed (throughput and delay disagree)"
+	}
+}
+
+func pctDelta(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (a - b) / b * 100
+}
+
+// runAB executes the two variant grids as sharded sweeps (in-process
+// shards; each variant's records round-trip the same JSONL codec the
+// multi-process path uses) and prints the p50/p95/p99 rollup plus the
+// verdict line.
+func runAB(mode shardMode, opt harness.Options) {
+	shards := mode.Shards
+	if shards < 2 {
+		shards = 2
+	}
+	variants := make([]abVariant, 2)
+	for i, file := range mode.AB {
+		name := string(rune('A' + i))
+		specs, _, err := loadScenarioSpecs(file, opt)
+		check(err)
+		start := time.Now()
+		results, st, err := scenario.RunSharded(context.Background(), specs, scenario.ShardedOptions{
+			Shards: shards, Workers: opt.Workers,
+		})
+		check(err)
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "variant %s (%s): %s\n", name, file, st)
+		variants[i] = rollup(name, file, results, elapsed)
+	}
+	header(fmt.Sprintf("A/B: %s vs %s (%d in-process shards)", mode.AB[0], mode.AB[1], shards))
+	fmt.Printf("%-2s %-32s %5s %27s %27s %10s\n",
+		"", "variant", "runs", "tput p50/p95/p99 (kbps)", "delay95 p50/p95/p99 (ms)", "wall")
+	for _, v := range variants {
+		fmt.Printf("%-2s %-32s %5d %9.0f %8.0f %8.0f %9.0f %8.0f %8.0f %10v\n",
+			v.Name, v.File, v.Runs,
+			v.TputP[0], v.TputP[1], v.TputP[2],
+			v.DelayP[0], v.DelayP[1], v.DelayP[2],
+			v.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("verdict: %s\n", verdict(variants[0], variants[1]))
+}
+
+// printScenarioResults renders the standard scenario table — shared by
+// the direct path (runScenarioFile) and the merged sharded path, so the
+// byte-identical-results contract is visible at the CLI: the table from
+// -shards n matches the table from a direct run, any n.
+func printScenarioResults(title string, results []scenario.Result) {
+	header(title)
+	fmt.Printf("%-40s %12s %16s %6s %12s\n", "scenario", "tput (kbps)", "self-delay (ms)", "util", "delay95 (ms)")
+	for _, r := range results {
+		tputKbps := r.Metrics.ThroughputBps / 1000
+		selfMs := fmt.Sprintf("%.0f", float64(r.Metrics.SelfInflicted95)/float64(time.Millisecond))
+		util := fmt.Sprintf("%.2f", r.Metrics.Utilization)
+		if r.Spec.Tunnel {
+			// Tunnel runs have no link-level aggregate metrics (the
+			// link carries Sprout frames, not client data): sum the
+			// client flows for throughput and leave the trace-relative
+			// columns blank rather than printing zeros that read as
+			// perfect scores.
+			tputKbps = 0
+			for _, f := range r.Flows {
+				tputKbps += f.ThroughputBps / 1000
+			}
+			selfMs, util = "-", "-"
+		}
+		fmt.Printf("%-40s %12.0f %16s %6s %12.0f\n",
+			r.Spec.Label(), tputKbps, selfMs, util,
+			float64(r.Delay95)/float64(time.Millisecond))
+		if len(r.Flows) > 1 {
+			for _, f := range r.Flows {
+				fmt.Printf("    flow %-3d %-12s %12.0f %29s %12.0f\n",
+					f.Flow, f.Scheme, f.ThroughputBps/1000, "",
+					float64(f.Delay95)/float64(time.Millisecond))
+			}
+			fmt.Printf("    Jain fairness %.3f\n", r.JainIndex)
+		}
+		if r.Spec.Tunnel {
+			fmt.Printf("    tunnel head drops: %d\n", r.HeadDrops)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sprout/internal/engine"
+)
+
+// TestParseShardFlags is the satellite contract: every malformed flag
+// combination yields a one-line error (for exit 2), never a panic, and
+// the valid combinations select the right mode.
+func TestParseShardFlags(t *testing.T) {
+	cases := []struct {
+		name                           string
+		shard                          string
+		shards                         int
+		ab, scenario, out, checkpoint  string
+		wantErr                        string // substring, "" = success
+		wantWorker, wantParent, wantAB bool
+	}{
+		{name: "default", wantErr: ""},
+		{name: "worker", shard: "1/4", scenario: "s.json", out: "x.jsonl", wantWorker: true},
+		{name: "worker stdout", shard: "0/2", scenario: "s.json", wantWorker: true},
+		{name: "parent", shards: 4, scenario: "s.json", wantParent: true},
+		{name: "parent checkpointed", shards: 2, scenario: "s.json", checkpoint: "ck", wantParent: true},
+		{name: "single shard is direct", shards: 1, scenario: "s.json"},
+		{name: "ab", ab: "a.json,b.json", wantAB: true},
+		{name: "ab sharded", ab: "a.json,b.json", shards: 4, wantAB: true},
+
+		{name: "bad shard syntax", shard: "nope", scenario: "s.json", wantErr: "shard"},
+		{name: "shard out of range", shard: "4/4", scenario: "s.json", wantErr: "outside"},
+		{name: "shard needs scenario", shard: "0/2", wantErr: "-scenario is required"},
+		{name: "shard vs shards", shard: "0/2", shards: 2, scenario: "s.json", wantErr: "mutually exclusive"},
+		{name: "negative shards", shards: -1, wantErr: ">= 0"},
+		{name: "shards need scenario", shards: 2, wantErr: "-scenario is required"},
+		{name: "ab wants two files", ab: "a.json", wantErr: "exactly two"},
+		{name: "ab three files", ab: "a,b,c", wantErr: "exactly two"},
+		{name: "ab empty side", ab: "a.json,", wantErr: "exactly two"},
+		{name: "ab vs shard", ab: "a.json,b.json", shard: "0/2", wantErr: "mutually exclusive"},
+		{name: "ab vs scenario", ab: "a.json,b.json", scenario: "s.json", wantErr: "-ab replaces -scenario"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mode, err := parseShardFlags(c.shard, c.shards, c.ab, c.scenario, c.out, c.checkpoint)
+			if c.wantErr != "" {
+				if err == nil {
+					t.Fatalf("got mode %+v, want error containing %q", mode, c.wantErr)
+				}
+				if !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, c.wantErr)
+				}
+				if strings.Contains(err.Error(), "\n") {
+					t.Fatalf("error %q is not one line", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := mode.Shard != nil; got != c.wantWorker {
+				t.Errorf("worker mode = %v, want %v", got, c.wantWorker)
+			}
+			if got := mode.Shards > 1 && mode.AB == nil; got != c.wantParent {
+				t.Errorf("parent mode = %v, want %v", got, c.wantParent)
+			}
+			if got := len(mode.AB) == 2; got != c.wantAB {
+				t.Errorf("ab mode = %v, want %v", got, c.wantAB)
+			}
+		})
+	}
+}
+
+func TestParseShardFlagsWorkerFields(t *testing.T) {
+	mode, err := parseShardFlags("2/3", 0, "", "s.json", "out.jsonl", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *mode.Shard != (engine.Shard{Index: 2, Count: 3}) {
+		t.Fatalf("shard = %v, want 2/3", mode.Shard)
+	}
+	if mode.Out != "out.jsonl" {
+		t.Fatalf("out = %q", mode.Out)
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	v := func(tput, delay float64) abVariant {
+		return abVariant{TputP: []float64{tput, tput, tput}, DelayP: []float64{delay, delay, delay}}
+	}
+	cases := []struct {
+		a, b abVariant
+		want string
+	}{
+		{v(1100, 90), v(1000, 100), "A wins"},
+		{v(900, 110), v(1000, 100), "B wins"},
+		{v(1100, 110), v(1000, 100), "mixed"},
+		{v(1000, 100), v(1000, 100), "tie"},
+		{v(1100, 100), v(1000, 100), "A wins"}, // delay tied, throughput decides
+	}
+	for _, c := range cases {
+		if got := verdict(c.a, c.b); !strings.Contains(got, c.want) {
+			t.Errorf("verdict(%v, %v) = %q, want %q", c.a.TputP[0], c.b.TputP[0], got, c.want)
+		}
+	}
+}
+
+// TestChildWorkers checks the fan-out splits the machine width instead of
+// oversubscribing it once per child.
+func TestChildWorkers(t *testing.T) {
+	// Explicit -parallel forwards unchanged.
+	if got := childWorkers(3, 0, 2); got != 3 {
+		t.Fatalf("explicit parallel: got %d, want 3", got)
+	}
+	// Auto mode: shares sum to the machine width (or shards, whichever is
+	// larger — every child gets at least one worker).
+	for shards := 1; shards <= 5; shards++ {
+		sum := 0
+		for i := 0; i < shards; i++ {
+			w := childWorkers(0, i, shards)
+			if w < 1 {
+				t.Fatalf("shard %d/%d: %d workers", i, shards, w)
+			}
+			sum += w
+		}
+		if sum < shards {
+			t.Fatalf("shards=%d: shares sum to %d", shards, sum)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Checkpointing: a sharded sweep's on-disk layout, so a killed run
+// restarts from where it left off instead of recomputing.
+//
+// A checkpoint directory holds one manifest plus one append-only JSONL
+// log per shard:
+//
+//	<dir>/manifest.json   — sweep identity (fingerprint, shards, jobs)
+//	<dir>/shard-<i>.jsonl — shard i's completed records, append order
+//
+// The logs themselves are the checkpoint: a job is done iff its record
+// is in its shard's log, so there is no separate progress file to fall
+// out of sync. Resume = read the log, skip the completed indexes,
+// truncate the torn tail a kill may have left, append. The manifest
+// only guards identity: resuming a directory recorded for a different
+// spec grid or shard count fails loudly instead of merging apples into
+// oranges.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Manifest pins a checkpointed sweep's identity.
+type Manifest struct {
+	// Fingerprint hashes the sweep's inputs (the caller defines the
+	// hash; scenario uses the canonical JSON of the spec grid).
+	Fingerprint string `json:"fingerprint"`
+	// Shards is the decomposition width; Jobs the global grid size.
+	Shards int `json:"shards"`
+	Jobs   int `json:"jobs"`
+}
+
+// manifestName is the manifest's file name inside a checkpoint dir.
+const manifestName = "manifest.json"
+
+// ShardLogPath returns shard i's log path inside a checkpoint dir.
+func ShardLogPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", shard))
+}
+
+// LoadManifest reads a checkpoint directory's manifest. A missing file
+// returns os.ErrNotExist (a fresh directory, not an error condition).
+func LoadManifest(dir string) (Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Manifest{}, fmt.Errorf("engine: corrupt checkpoint manifest in %s: %w", dir, err)
+	}
+	return m, nil
+}
+
+// Write persists the manifest atomically (temp file + rename), so a kill
+// mid-write leaves either the old manifest or the new one, never a torn
+// half.
+func (m Manifest) Write(dir string) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, manifestName+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(raw, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: write checkpoint manifest: %w", firstErr(werr, cerr))
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, manifestName))
+}
+
+// EnsureManifest opens-or-creates a checkpoint directory for the given
+// identity: a fresh directory is stamped with want, an existing one must
+// match it exactly (same fingerprint, shard count and job count) or the
+// resume is refused.
+func EnsureManifest(dir string, want Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	have, err := LoadManifest(dir)
+	if os.IsNotExist(err) {
+		return want.Write(dir)
+	}
+	if err != nil {
+		return err
+	}
+	if have != want {
+		return fmt.Errorf("engine: checkpoint %s belongs to a different sweep (recorded %d jobs across %d shards, fingerprint %.12s; resuming %d jobs across %d shards, fingerprint %.12s)",
+			dir, have.Jobs, have.Shards, have.Fingerprint, want.Jobs, want.Shards, want.Fingerprint)
+	}
+	return nil
+}
+
+// OpenShardLog opens (creating if absent) a shard's append log for
+// resuming: it returns the records already completed and a file
+// positioned for appending. A torn trailing line from a killed writer is
+// truncated away first, so the appended stream stays well-formed.
+func OpenShardLog(path string) ([]Record, *os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	recs, good, err := parseRecords(raw)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("engine: shard log %s: %w", path, err)
+	}
+	if good != int64(len(raw)) {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return recs, f, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -87,15 +87,49 @@ func (ws *WorkerState) Value(key any, mk func() any) any {
 	return v
 }
 
-// Stats summarizes one Run call.
+// Stats summarizes one Run call, or — after Merge — an aggregate over
+// several runs (repeats on one engine, or the shards of a sharded sweep).
 type Stats struct {
 	// Jobs is how many jobs were submitted; Completed how many actually
 	// ran (cancellation can skip the tail of the queue).
 	Jobs, Completed int
-	// Workers is the pool size used.
+	// Workers is the pool size used. In merged stats it is the summed
+	// pool across shards — the aggregate concurrency of the sweep.
 	Workers int
-	// Wall is the elapsed wall-clock time of the whole Run.
+	// Wall is the elapsed wall-clock time of the whole Run. In merged
+	// stats it is the summed per-shard wall — aggregate compute time,
+	// which exceeds the elapsed time whenever shards overlap.
 	Wall time.Duration
+	// Shards counts the shard runs merged into this Stats (zero for a
+	// plain single-engine Run). Like Cache.Counts, the shard counters
+	// are advisory only: they describe how the sweep executed, never the
+	// scientific result (two decompositions of one grid produce equal
+	// results and different Stats), and they must not be used for
+	// synchronization or skipped-work accounting. In particular, trace
+	// cache hit/miss counts are NOT aggregated here — in-process shards
+	// share one Cache, so summing a per-shard read of its counters would
+	// double-count every hit; read the shared cache's Counts exactly
+	// once after the sweep instead (see harness.RunMatrixSharded).
+	Shards int
+}
+
+// Merge folds another run's stats into s: the aggregation for sharded
+// sweeps, where every shard ran on its own engine (possibly in its own
+// child process) and no single engine's Total sees the whole grid. Jobs
+// and Completed sum without double-counting because each shard owns a
+// disjoint index set; Workers and Wall sum into aggregate concurrency
+// and aggregate compute time (see the field docs); Shards counts the
+// merged runs.
+func (s *Stats) Merge(o Stats) {
+	s.Jobs += o.Jobs
+	s.Completed += o.Completed
+	s.Workers += o.Workers
+	s.Wall += o.Wall
+	if o.Shards > 0 {
+		s.Shards += o.Shards
+	} else {
+		s.Shards++
+	}
 }
 
 func (s Stats) String() string {
@@ -103,7 +137,11 @@ func (s Stats) String() string {
 	if s.Workers == 1 {
 		plural = ""
 	}
-	return fmt.Sprintf("%d jobs on %d worker%s in %v", s.Completed, s.Workers, plural, s.Wall.Round(time.Millisecond))
+	base := fmt.Sprintf("%d jobs on %d worker%s in %v", s.Completed, s.Workers, plural, s.Wall.Round(time.Millisecond))
+	if s.Shards > 1 {
+		return fmt.Sprintf("%s across %d shards", base, s.Shards)
+	}
+	return base
 }
 
 // Engine is a deterministic parallel runner. The zero value is not

@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"context"
+
+	"sprout/internal/engine"
+	"sprout/internal/scenario"
+)
+
+// RunMatrixSharded is RunMatrix decomposed over shards in-process: the
+// same spec grid, partitioned by global job index across `shards`
+// engines, each shard streaming JSONL records that are merged back in
+// index order. Links, Cells and every derived figure are identical to
+// RunMatrix's for any shard count — only Stats differs (it reports the
+// decomposition). All shards share one trace cache, so each distinct
+// link's pair is still generated exactly once; its hit/miss counts are
+// read exactly once here, after the sweep, which is why engine.Stats
+// deliberately carries no cache counters for Stats.Merge to sum (summing
+// per-shard reads of a shared cache would double-count every hit).
+func RunMatrixSharded(opt Options, schemes []string, shards int) (*Matrix, error) {
+	opt = opt.withDefaults()
+	if len(schemes) == 0 {
+		schemes = Schemes()
+	}
+	specs, links := MatrixSpecs(opt, schemes)
+	traces := engine.NewCache()
+	results, st, err := scenario.RunSharded(context.Background(), specs, scenario.ShardedOptions{
+		Shards:  shards,
+		Workers: opt.Workers,
+		Traces:  traces,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hits, misses := traces.Counts()
+	m := matrixFromResults(opt, schemes, links, results)
+	m.Stats = RunStats{Engine: st, TracesGenerated: misses, TracesReused: hits}
+	return m, nil
+}

@@ -112,17 +112,16 @@ type Matrix struct {
 	Stats RunStats
 }
 
-// RunMatrix executes every scheme over every canonical link (8 links ×
-// len(schemes) runs) through the parallel engine. Each scheme sees
-// identical trace pairs: one immutable pair per network is generated in a
-// shared cache and handed to every scheme and both directions by
-// reference, never copied per job. Results are independent of opt.Workers.
-func RunMatrix(opt Options, schemes []string) (*Matrix, error) {
+// MatrixSpecs builds the full schemes × canonical-links spec grid and the
+// link names, scheme-major: job index si*len(links)+li runs schemes[si] on
+// links[li], so the first len(links) jobs each touch a different link and
+// at startup every worker generates a distinct trace pair instead of
+// piling onto one link's single-flight entry. The grid is the unit of
+// sharding: a spec's global index depends only on the scheme and link
+// orders, so any shard decomposition of the same grid agrees on job
+// identity.
+func MatrixSpecs(opt Options, schemes []string) ([]scenario.Spec, []string) {
 	opt = opt.withDefaults()
-	if len(schemes) == 0 {
-		schemes = Schemes()
-	}
-	m := &Matrix{Options: opt, Cells: make(map[string]map[string]Cell)}
 	type linkSpec struct {
 		name string
 		pair trace.NetworkPair
@@ -134,12 +133,10 @@ func RunMatrix(opt Options, schemes []string) (*Matrix, error) {
 			links = append(links, linkSpec{LinkName(pair.Name, dir), pair, dir})
 		}
 	}
-	for _, l := range links {
-		m.Links = append(m.Links, l.name)
+	names := make([]string, len(links))
+	for i, l := range links {
+		names[i] = l.name
 	}
-	// Enqueue scheme-major: the first len(links) jobs each touch a
-	// different link, so at startup every worker generates a distinct
-	// trace pair instead of piling onto one link's single-flight entry.
 	specs := make([]scenario.Spec, 0, len(links)*len(schemes))
 	for _, s := range schemes {
 		for _, l := range links {
@@ -151,20 +148,42 @@ func RunMatrix(opt Options, schemes []string) (*Matrix, error) {
 			specs = append(specs, spec)
 		}
 	}
+	return specs, names
+}
+
+// matrixFromResults assembles the Cells grid from index-ordered results of
+// a MatrixSpecs grid.
+func matrixFromResults(opt Options, schemes, links []string, results []scenario.Result) *Matrix {
+	m := &Matrix{Options: opt, Links: links, Cells: make(map[string]map[string]Cell)}
+	for li, l := range links {
+		row := make(map[string]Cell, len(schemes))
+		for si, s := range schemes {
+			row[s] = cellFromScenario(results[si*len(links)+li], s)
+		}
+		m.Cells[l] = row
+	}
+	return m
+}
+
+// RunMatrix executes every scheme over every canonical link (8 links ×
+// len(schemes) runs) through the parallel engine. Each scheme sees
+// identical trace pairs: one immutable pair per network is generated in a
+// shared cache and handed to every scheme and both directions by
+// reference, never copied per job. Results are independent of opt.Workers.
+func RunMatrix(opt Options, schemes []string) (*Matrix, error) {
+	opt = opt.withDefaults()
+	if len(schemes) == 0 {
+		schemes = Schemes()
+	}
+	specs, links := MatrixSpecs(opt, schemes)
 	traces := engine.NewCache()
 	results, st, err := runSpecs(opt, specs, traces)
 	if err != nil {
 		return nil, err
 	}
 	hits, misses := traces.Counts()
+	m := matrixFromResults(opt, schemes, links, results)
 	m.Stats = RunStats{Engine: st, TracesGenerated: misses, TracesReused: hits}
-	for li, l := range links {
-		row := make(map[string]Cell, len(schemes))
-		for si, s := range schemes {
-			row[s] = cellFromScenario(results[si*len(links)+li], s)
-		}
-		m.Cells[l.name] = row
-	}
 	return m, nil
 }
 

@@ -2,7 +2,7 @@
 # bench.sh — run the perf-tracking benchmarks and emit BENCH_<PR>.json.
 #
 # Usage:
-#   scripts/bench.sh              # writes BENCH_6.json in the repo root
+#   scripts/bench.sh              # writes BENCH_7.json in the repo root
 #   scripts/bench.sh out.json     # custom output path
 #   BENCHTIME=200ms scripts/bench.sh   # quick smoke (CI uses this)
 #
@@ -11,22 +11,24 @@
 # sweep and the batched multi-flow forecast (both new in PR 6), the event
 # loop (fresh-timer and reused-timer patterns) — plus two
 # macro-benchmarks: the reduced scheme×link matrix on materialized
-# traces, and the same grid driven by streaming delivery processes. The
-# "baseline" block holds the PR-5 recorded numbers those were measured
-# against, so the perf trajectory stays auditable across PRs.
+# traces, the same grid driven by streaming delivery processes, and — new
+# in PR 7 — the grid decomposed over two in-process shards with JSONL
+# streaming and index-ordered merge. The "baseline" block holds the PR-6
+# recorded numbers those were measured against, so the perf trajectory
+# stays auditable across PRs.
 #
-# Three allocs/op figures are guarded: the matrix and streaming macros at
-# their recorded values (world reuse and the pull path must stay
-# allocation-flat), and — new in PR 6 — the cautious forecast at zero
-# (the fused evolve→CDF pass must never touch the heap). A regression of
-# more than 20% over a recorded value (any alloc at all, for a recorded
-# zero) fails this script — CI's bench-smoke step turns red instead of
-# silently eroding the wins.
+# Four allocs/op figures are guarded: the matrix, streaming and sharded
+# macros at their recorded values (world reuse, the pull path and the
+# shard codec must stay allocation-flat), and the cautious forecast at
+# zero (the fused evolve→CDF pass must never touch the heap). A
+# regression of more than 20% over a recorded value (any alloc at all,
+# for a recorded zero) fails this script — CI's bench-smoke step turns
+# red instead of silently eroding the wins.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_6.json}
+OUT=${1:-BENCH_7.json}
 BENCHTIME=${BENCHTIME:-1s}
 MATRIX_BENCHTIME=${MATRIX_BENCHTIME:-1x}
 # allocs/op recorded on the PR-5 dev machine (deterministic at
@@ -37,6 +39,10 @@ MATRIX_BENCHTIME=${MATRIX_BENCHTIME:-1x}
 # process) instead of freshly allocated per 10 ms step. Guards allow +20%.
 MATRIX_ALLOCS_RECORDED=${MATRIX_ALLOCS_RECORDED:-3528}
 STREAMING_ALLOCS_RECORDED=${STREAMING_ALLOCS_RECORDED:-1584}
+# PR 7: the two-shard decomposition of the same grid. Fewer allocs than
+# the single-engine run (each shard engine sizes its buffers to its own
+# half-grid) — the guard still allows +20% over the recorded value.
+SHARDED_ALLOCS_RECORDED=${SHARDED_ALLOCS_RECORDED:-2966}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
@@ -46,11 +52,11 @@ go test -run '^$' -bench 'BenchmarkCoreTick$|BenchmarkCoreForecast$|BenchmarkCor
 go test -run '^$' -bench 'BenchmarkLoopThroughput$|BenchmarkLoopTimerReuse$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/sim/ | tee -a "$TMP" >&2
 
-echo "bench: macro matrix + streaming matrix (benchtime $MATRIX_BENCHTIME)..." >&2
-go test -run '^$' -bench 'BenchmarkMatrixParallel$|BenchmarkStreamingMatrix$' \
+echo "bench: macro matrix + streaming + sharded matrix (benchtime $MATRIX_BENCHTIME)..." >&2
+go test -run '^$' -bench 'BenchmarkMatrixParallel$|BenchmarkStreamingMatrix$|BenchmarkShardedMatrix$' \
     -benchmem -benchtime "$MATRIX_BENCHTIME" . | tee -a "$TMP" >&2
 
-awk -v out="$OUT" -v mguard="$MATRIX_ALLOCS_RECORDED" -v sguard="$STREAMING_ALLOCS_RECORDED" '
+awk -v out="$OUT" -v mguard="$MATRIX_ALLOCS_RECORDED" -v sguard="$STREAMING_ALLOCS_RECORDED" -v shguard="$SHARDED_ALLOCS_RECORDED" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
@@ -62,16 +68,19 @@ awk -v out="$OUT" -v mguard="$MATRIX_ALLOCS_RECORDED" -v sguard="$STREAMING_ALLO
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 6,\n"
-    printf "  \"description\": \"fused evolve+CDF forecast passes, shared-evolution confidence sweeps (ForecastAll), batched multi-flow inference (ForecastBatch), opt-in quantized fast mode\",\n"
+    printf "  \"pr\": 7,\n"
+    printf "  \"description\": \"sharded engine: deterministic idx%%n job partitioning, per-shard JSONL streams with index-ordered byte-identical merge, checkpoint/resume, multi-process fan-out and the -ab p50/p95/p99 harness\",\n"
     printf "  \"baseline\": {\n"
-    printf "    \"comment\": \"PR-5 recorded numbers (BENCH_5.json) on the PR-5/PR-6 dev machine; no sweep/batch/fast benchmark existed before PR 6\",\n"
-    printf "    \"BenchmarkCoreTick\": {\"ns_per_op\": 17070, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkCoreForecast\": {\"ns_per_op\": 102111, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkLoopThroughput\": {\"ns_per_op\": 14.65, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkLoopTimerReuse\": {\"ns_per_op\": 19.74, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkMatrixParallel\": {\"ns_per_op\": 1407893640, \"allocs_per_op\": 3528},\n"
-    printf "    \"BenchmarkStreamingMatrix\": {\"ns_per_op\": 702074518, \"allocs_per_op\": 1584}\n"
+    printf "    \"comment\": \"PR-6 recorded numbers (BENCH_6.json) on the PR-6/PR-7 dev machine (1 core: BenchmarkShardedMatrix is at parity with BenchmarkMatrixParallel here; the >=1.5x clause applies on >=4-core hosts where shards spread); no sharded benchmark existed before PR 7\",\n"
+    printf "    \"BenchmarkCoreTick\": {\"ns_per_op\": 12991, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkCoreForecast\": {\"ns_per_op\": 63947, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkCoreForecastFast\": {\"ns_per_op\": 57221, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkForecastSweep\": {\"ns_per_op\": 101809, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkForecastBatch\": {\"ns_per_op\": 1116156, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkLoopThroughput\": {\"ns_per_op\": 12.62, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkLoopTimerReuse\": {\"ns_per_op\": 14.84, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkMatrixParallel\": {\"ns_per_op\": 991665312, \"allocs_per_op\": 3530},\n"
+    printf "    \"BenchmarkStreamingMatrix\": {\"ns_per_op\": 537455743, \"allocs_per_op\": 1585}\n"
     printf "  },\n"
     printf "  \"guard\": {\n"
     printf "    \"comment\": \"bench-smoke fails if a guarded allocs/op regresses >20%% over its recorded value; the forecast hot path is pinned at zero\",\n"
@@ -80,7 +89,9 @@ END {
     printf "    \"BenchmarkMatrixParallel_allocs_per_op_recorded\": %d,\n", mguard
     printf "    \"BenchmarkMatrixParallel_allocs_per_op_max\": %d,\n", int(mguard * 1.2)
     printf "    \"BenchmarkStreamingMatrix_allocs_per_op_recorded\": %d,\n", sguard
-    printf "    \"BenchmarkStreamingMatrix_allocs_per_op_max\": %d\n", int(sguard * 1.2)
+    printf "    \"BenchmarkStreamingMatrix_allocs_per_op_max\": %d,\n", int(sguard * 1.2)
+    printf "    \"BenchmarkShardedMatrix_allocs_per_op_recorded\": %d,\n", shguard
+    printf "    \"BenchmarkShardedMatrix_allocs_per_op_max\": %d\n", int(shguard * 1.2)
     printf "  },\n"
     printf "  \"results\": {\n"
     n = 0
@@ -128,3 +139,4 @@ gate() {
 gate BenchmarkCoreForecast 0
 gate BenchmarkMatrixParallel "$MATRIX_ALLOCS_RECORDED"
 gate BenchmarkStreamingMatrix "$STREAMING_ALLOCS_RECORDED"
+gate BenchmarkShardedMatrix "$SHARDED_ALLOCS_RECORDED"
