@@ -75,6 +75,11 @@ func main() {
 	outFlag := flag.String("out", "", "JSONL destination for -shard (default stdout); an existing log is resumed, not recomputed")
 	shardsFlag := flag.Int("shards", 0, "parent mode: fan the -scenario grid across this many child processes and merge their JSONL")
 	checkpointFlag := flag.String("checkpoint", "", "checkpoint directory for -shards: a killed sweep rerun resumes from the shard logs here")
+	retriesFlag := flag.Int("retries", 3, "attempts per shard before the supervisor declares it dead (with -shards; 0 = default)")
+	stallFlag := flag.Duration("stall", 2*time.Minute, "kill a shard child whose checkpoint log stops growing for this long (with -shards; 0 = default)")
+	chaosFlag := flag.Int64("chaos", 0, "seed a deterministic fault-injection plan into the supervised children (with -shards; 0 = off); the merged output must be unchanged")
+	partialFlag := flag.Bool("partial", false, "with -shards: merge whatever completed and report the exact missing job indexes instead of failing")
+	rescueFlag := flag.Bool("rescue", true, "with -shards: recompute dead shards' remaining jobs in-process instead of failing the sweep")
 	abFlag := flag.String("ab", "", "A/B mode: two scenario files \"specA.json,specB.json\"; sharded sweeps with p50/p95/p99 rollups and a verdict")
 	repeat := flag.Int("repeat", 1, "rerun the selected workload this many times in-process (repeats reuse the engine's pooled per-worker worlds; aggregate stats print at the end)")
 	listSchemes := flag.Bool("list-schemes", false, "list every registered scheme and exit")
@@ -112,10 +117,22 @@ func main() {
 		runListSchemes()
 		return
 	}
-	mode, err := parseShardFlags(*shardFlag, *shardsFlag, *abFlag, *scenarioFile, *outFlag, *checkpointFlag)
+	mode, err := parseShardFlags(shardFlagInputs{
+		Shard:      *shardFlag,
+		Shards:     *shardsFlag,
+		AB:         *abFlag,
+		Scenario:   *scenarioFile,
+		Out:        *outFlag,
+		Checkpoint: *checkpointFlag,
+		Retries:    *retriesFlag,
+		Stall:      *stallFlag,
+		Chaos:      *chaosFlag,
+		Partial:    *partialFlag,
+		Rescue:     *rescueFlag,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sproutbench:", err)
-		fatalExit(2)
+		fatalExit(exitUsage)
 	}
 	if *repeat < 1 {
 		*repeat = 1

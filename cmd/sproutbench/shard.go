@@ -1,21 +1,22 @@
 // Sharded sweeps from the CLI: -shard i/n runs one partition of a
-// -scenario grid and streams JSONL; -shards n orchestrates n child
-// processes (retrying failures with backoff) and merges their logs;
-// -ab a.json,b.json fans two variant grids across shards and reports
-// per-variant p50/p95/p99 rollups with a verdict. See DESIGN.md §13.
+// -scenario grid and streams JSONL; -shards n supervises n child
+// processes (liveness tracking, classified retries, rescue of dead
+// shards' jobs) and merges their logs; -ab a.json,b.json fans two
+// variant grids across shards and reports per-variant p50/p95/p99
+// rollups with a verdict. See DESIGN.md §13–14.
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
-	"os/exec"
 	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"sprout/internal/engine"
+	"sprout/internal/fault"
 	"sprout/internal/harness"
 	"sprout/internal/scenario"
 	"sprout/internal/stats"
@@ -27,58 +28,108 @@ type shardMode struct {
 	Shard *engine.Shard
 	// Out is the worker's JSONL destination ("" = stdout).
 	Out string
-	// Shards > 1 is parent mode: fan out child processes and merge.
+	// Shards > 1 is parent mode: supervise child processes and merge.
 	Shards int
 	// Checkpoint is the shard-log directory ("" = temp, discarded).
 	Checkpoint string
 	// AB holds the two variant scenario files in A/B mode.
 	AB []string
+	// Retries bounds attempts per shard; Stall is the liveness deadline.
+	Retries int
+	Stall   time.Duration
+	// Chaos, when nonzero, seeds a deterministic fault plan.
+	Chaos int64
+	// Partial tolerates an incomplete merge (report + degrade, exit 0);
+	// Rescue recomputes dead shards' jobs in-process.
+	Partial bool
+	Rescue  bool
+}
+
+// shardFlagInputs carries the raw sharding flag values into validation.
+type shardFlagInputs struct {
+	Shard      string
+	Shards     int
+	AB         string
+	Scenario   string
+	Out        string
+	Checkpoint string
+	Retries    int
+	Stall      time.Duration
+	Chaos      int64
+	Partial    bool
+	Rescue     bool
 }
 
 // parseShardFlags validates the sharding flag combination, returning a
 // one-line error (never panicking) on anything malformed — the CLI turns
 // that into exit code 2.
-func parseShardFlags(shardStr string, shards int, ab, scenarioFile, out, checkpoint string) (shardMode, error) {
+func parseShardFlags(in shardFlagInputs) (shardMode, error) {
 	var m shardMode
-	if shards < 0 {
-		return m, fmt.Errorf("-shards must be >= 0, got %d", shards)
+	if in.Shards < 0 {
+		return m, fmt.Errorf("-shards must be >= 0, got %d", in.Shards)
 	}
-	if ab != "" {
-		parts := strings.Split(ab, ",")
-		if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
-			return m, fmt.Errorf("-ab wants exactly two scenario files as \"specA.json,specB.json\", got %q", ab)
+	if in.Retries < 0 {
+		return m, fmt.Errorf("-retries must be >= 0, got %d", in.Retries)
+	}
+	if in.Stall < 0 {
+		return m, fmt.Errorf("-stall must be >= 0, got %v", in.Stall)
+	}
+	parent := in.AB == "" && in.Shard == "" && in.Shards > 1
+	if !parent {
+		if in.Chaos != 0 {
+			return m, fmt.Errorf("-chaos injects faults into supervised children; it requires parent mode (-shards > 1)")
 		}
-		if shardStr != "" {
+		if in.Partial {
+			return m, fmt.Errorf("-partial degrades a supervised merge; it requires parent mode (-shards > 1)")
+		}
+	}
+	if in.AB != "" {
+		parts := strings.Split(in.AB, ",")
+		if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
+			return m, fmt.Errorf("-ab wants exactly two scenario files as \"specA.json,specB.json\", got %q", in.AB)
+		}
+		if in.Shard != "" {
 			return m, fmt.Errorf("-ab and -shard are mutually exclusive")
 		}
-		if scenarioFile != "" {
+		if in.Scenario != "" {
 			return m, fmt.Errorf("-ab replaces -scenario; give the variant files to -ab only")
 		}
 		m.AB = []string{strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])}
-		m.Shards = shards
+		m.Shards = in.Shards
 		return m, nil
 	}
-	if shardStr != "" {
-		sh, err := engine.ParseShard(shardStr)
+	if in.Shard != "" {
+		sh, err := engine.ParseShard(in.Shard)
 		if err != nil {
 			return m, err
 		}
-		if scenarioFile == "" {
+		if in.Scenario == "" {
 			return m, fmt.Errorf("-shard runs one partition of a -scenario grid; -scenario is required")
 		}
-		if shards > 0 {
+		if in.Shards > 0 {
 			return m, fmt.Errorf("-shard (worker mode) and -shards (parent mode) are mutually exclusive")
 		}
 		m.Shard = &sh
-		m.Out = out
+		m.Out = in.Out
 		return m, nil
 	}
-	if shards > 1 {
-		if scenarioFile == "" {
+	if in.Shards > 1 {
+		if in.Scenario == "" {
 			return m, fmt.Errorf("-shards fans a -scenario grid across child processes; -scenario is required")
 		}
-		m.Shards = shards
-		m.Checkpoint = checkpoint
+		m.Shards = in.Shards
+		m.Checkpoint = in.Checkpoint
+		m.Retries = in.Retries
+		if m.Retries == 0 {
+			m.Retries = 3
+		}
+		m.Stall = in.Stall
+		if m.Stall == 0 {
+			m.Stall = 2 * time.Minute
+		}
+		m.Chaos = in.Chaos
+		m.Partial = in.Partial
+		m.Rescue = in.Rescue
 	}
 	return m, nil
 }
@@ -113,21 +164,36 @@ func loadScenarioSpecs(path string, opt harness.Options) ([]scenario.Spec, int, 
 // runShardWorker is the child half of a multi-process sweep: compile the
 // grid, run the owned partition, append records to the JSONL log. An
 // existing log resumes — completed indexes are skipped, a torn tail from
-// a killed predecessor is truncated — so the parent's retry loop never
-// recomputes finished jobs.
+// a killed predecessor is truncated — so the supervisor's retries never
+// recompute finished jobs. Permanent conditions exit with exitPermanent
+// so the supervisor fails the shard fast instead of burning retries: an
+// unloadable grid, or a corrupt (terminated-garbage) checkpoint log.
+// Faults a chaos supervisor injected via SPROUT_FAULT are wired around
+// the log writer here — the recovery machinery upstream cannot tell an
+// injected failure from a real one.
 func runShardWorker(scenarioFile string, sh engine.Shard, out string, opt harness.Options) {
-	specs, _, err := loadScenarioSpecs(scenarioFile, opt)
+	inj, err := fault.FromEnv()
 	check(err)
+	inj.Start()
+	specs, _, err := loadScenarioSpecs(scenarioFile, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sproutbench:", err)
+		fatalExit(exitPermanent)
+	}
 	var done []int
 	var w *engine.RecordWriter
 	if out == "" {
-		w = engine.NewRecordWriter(os.Stdout)
+		w = engine.NewRecordWriter(inj.Writer(os.Stdout))
 	} else {
 		recs, f, err := engine.OpenShardLog(out)
+		if errors.Is(err, engine.ErrCorruptLog) {
+			fmt.Fprintln(os.Stderr, "sproutbench:", err)
+			fatalExit(exitPermanent)
+		}
 		check(err)
 		defer f.Close()
 		done = engine.CompletedIndexes(recs)
-		w = engine.NewRecordWriter(f)
+		w = engine.NewRecordWriterSynced(inj.Writer(f), f.Sync)
 	}
 	st, err := scenario.RunShard(context.Background(), opt.Engine, specs, sh, done, w)
 	check(err)
@@ -153,17 +219,14 @@ func childWorkers(parallel, shard, shards int) int {
 	return w
 }
 
-const (
-	shardAttempts = 3
-	shardBackoff  = 500 * time.Millisecond
-)
-
-// runShardParent orchestrates a multi-process sweep: stamp the checkpoint
-// directory, spawn one child per shard (each appending to its own log),
-// retry failed shards with doubling backoff, merge the logs by global
-// index and print the standard scenario table. With -checkpoint the
-// directory persists, so a killed parent rerun resumes instead of
-// recomputing.
+// runShardParent runs a supervised multi-process sweep: stamp the
+// checkpoint directory, supervise one child per shard (liveness
+// tracking, classified retries with capped jittered backoff), salvage
+// and rescue what dead shards left behind, merge by global index and
+// print the standard scenario table. With -checkpoint the directory
+// persists, so a killed parent rerun resumes instead of recomputing.
+// With -chaos a seeded fault plan is injected into the children — the
+// merged output must not change. See DESIGN.md §14.
 func runShardParent(scenarioFile string, mode shardMode, opt harness.Options, parallel int) {
 	specs, streaming, err := loadScenarioSpecs(scenarioFile, opt)
 	check(err)
@@ -173,63 +236,53 @@ func runShardParent(scenarioFile string, mode shardMode, opt harness.Options, pa
 		check(err)
 		defer os.RemoveAll(dir)
 	}
-	n := mode.Shards
-	check(engine.EnsureManifest(dir, engine.Manifest{
-		Fingerprint: scenario.Fingerprint(specs, n), Shards: n, Jobs: len(specs),
-	}))
-
 	exe, err := os.Executable()
 	check(err)
+	var plan fault.Plan
+	if mode.Chaos != 0 {
+		plan = fault.NewPlan(mode.Chaos, mode.Shards, mode.Retries, mode.Stall*3/2)
+		fmt.Fprintf(os.Stderr, "sproutbench: chaos seed %d: %s\n", mode.Chaos, plan)
+	}
 	start := time.Now()
-	var wg sync.WaitGroup
-	errs := make([]error, n)
-	for i := 0; i < n; i++ {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			errs[i] = runChildWithRetry(exe, scenarioFile, engine.Shard{Index: i, Count: n},
-				engine.ShardLogPath(dir, i), opt, childWorkers(parallel, i, n))
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		check(err)
-	}
-	results, err := scenario.MergeShardLogs(dir, specs, n)
+	sum, err := supervise(context.Background(), superviseConfig{
+		Exe:      exe,
+		Scenario: scenarioFile,
+		Specs:    specs,
+		Dir:      dir,
+		Shards:   mode.Shards,
+		Retries:  mode.Retries,
+		Stall:    mode.Stall,
+		Opt:      opt,
+		Parallel: parallel,
+		Plan:     plan,
+		Rescue:   mode.Rescue,
+		Log:      os.Stderr,
+	})
 	check(err)
-	fmt.Fprintf(os.Stderr, "sharded: %d jobs across %d child processes in %v; %d streaming scenario(s)\n",
-		len(specs), n, time.Since(start).Round(time.Millisecond), streaming)
-	printScenarioResults(fmt.Sprintf("Scenarios from %s (%d shards)", scenarioFile, n), results)
-}
-
-// runChildWithRetry launches one shard child, retrying on failure with
-// doubling backoff. The child's own resume logic makes retries cheap:
-// every attempt appends only the jobs its log is still missing.
-func runChildWithRetry(exe, scenarioFile string, sh engine.Shard, logPath string, opt harness.Options, workers int) error {
-	backoff := shardBackoff
-	var lastErr error
-	for attempt := 1; attempt <= shardAttempts; attempt++ {
-		cmd := exec.Command(exe,
-			"-scenario", scenarioFile,
-			"-shard", sh.String(),
-			"-out", logPath,
-			"-duration", opt.Duration.String(),
-			"-skip", opt.Skip.String(),
-			"-seed", fmt.Sprint(opt.Seed),
-			"-parallel", fmt.Sprint(workers),
-		)
-		cmd.Stderr = os.Stderr
-		if err := cmd.Run(); err == nil {
-			return nil
-		} else {
-			lastErr = fmt.Errorf("shard %s (attempt %d/%d): %w", sh, attempt, shardAttempts, err)
-			fmt.Fprintf(os.Stderr, "sproutbench: %v; retrying in %v\n", lastErr, backoff)
+	retried, dead := 0, 0
+	for _, o := range sum.Outcomes {
+		if o.Attempts > 1 || o.Err != nil {
+			retried++
 		}
-		time.Sleep(backoff)
-		backoff *= 2
+		if o.Dead {
+			dead++
+		}
 	}
-	return lastErr
+	if retried > 0 || sum.Rescued > 0 {
+		fmt.Fprintf(os.Stderr, "sproutbench: recovery: %d shard(s) retried or failed, %d dead, %d log(s) quarantined, %d job(s) rescued\n",
+			retried, dead, sum.Quarantined, sum.Rescued)
+	}
+	if len(sum.Missing) > 0 && !mode.Partial {
+		fmt.Fprintf(os.Stderr, "sproutbench: %d of %d jobs missing after supervision: %s (rerun with the same -checkpoint to resume, or -partial to merge what completed)\n",
+			len(sum.Missing), len(specs), formatMissing(sum.Missing))
+		fatalExit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sharded: %d jobs across %d supervised child processes in %v; %d streaming scenario(s)\n",
+		len(specs), mode.Shards, time.Since(start).Round(time.Millisecond), streaming)
+	if len(sum.Missing) > 0 {
+		fmt.Printf("partial: missing %d of %d jobs: %s\n", len(sum.Missing), len(specs), formatMissing(sum.Missing))
+	}
+	printScenarioResults(fmt.Sprintf("Scenarios from %s (%d shards)", scenarioFile, mode.Shards), sum.Results)
 }
 
 // abVariant is one side of an A/B comparison after its sweep completes.

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"sprout/internal/engine"
 )
@@ -13,36 +14,41 @@ import (
 func TestParseShardFlags(t *testing.T) {
 	cases := []struct {
 		name                           string
-		shard                          string
-		shards                         int
-		ab, scenario, out, checkpoint  string
+		in                             shardFlagInputs
 		wantErr                        string // substring, "" = success
 		wantWorker, wantParent, wantAB bool
 	}{
 		{name: "default", wantErr: ""},
-		{name: "worker", shard: "1/4", scenario: "s.json", out: "x.jsonl", wantWorker: true},
-		{name: "worker stdout", shard: "0/2", scenario: "s.json", wantWorker: true},
-		{name: "parent", shards: 4, scenario: "s.json", wantParent: true},
-		{name: "parent checkpointed", shards: 2, scenario: "s.json", checkpoint: "ck", wantParent: true},
-		{name: "single shard is direct", shards: 1, scenario: "s.json"},
-		{name: "ab", ab: "a.json,b.json", wantAB: true},
-		{name: "ab sharded", ab: "a.json,b.json", shards: 4, wantAB: true},
+		{name: "worker", in: shardFlagInputs{Shard: "1/4", Scenario: "s.json", Out: "x.jsonl"}, wantWorker: true},
+		{name: "worker stdout", in: shardFlagInputs{Shard: "0/2", Scenario: "s.json"}, wantWorker: true},
+		{name: "parent", in: shardFlagInputs{Shards: 4, Scenario: "s.json"}, wantParent: true},
+		{name: "parent checkpointed", in: shardFlagInputs{Shards: 2, Scenario: "s.json", Checkpoint: "ck"}, wantParent: true},
+		{name: "parent chaos partial", in: shardFlagInputs{Shards: 2, Scenario: "s.json", Chaos: 7, Partial: true}, wantParent: true},
+		{name: "single shard is direct", in: shardFlagInputs{Shards: 1, Scenario: "s.json"}},
+		{name: "ab", in: shardFlagInputs{AB: "a.json,b.json"}, wantAB: true},
+		{name: "ab sharded", in: shardFlagInputs{AB: "a.json,b.json", Shards: 4}, wantAB: true},
 
-		{name: "bad shard syntax", shard: "nope", scenario: "s.json", wantErr: "shard"},
-		{name: "shard out of range", shard: "4/4", scenario: "s.json", wantErr: "outside"},
-		{name: "shard needs scenario", shard: "0/2", wantErr: "-scenario is required"},
-		{name: "shard vs shards", shard: "0/2", shards: 2, scenario: "s.json", wantErr: "mutually exclusive"},
-		{name: "negative shards", shards: -1, wantErr: ">= 0"},
-		{name: "shards need scenario", shards: 2, wantErr: "-scenario is required"},
-		{name: "ab wants two files", ab: "a.json", wantErr: "exactly two"},
-		{name: "ab three files", ab: "a,b,c", wantErr: "exactly two"},
-		{name: "ab empty side", ab: "a.json,", wantErr: "exactly two"},
-		{name: "ab vs shard", ab: "a.json,b.json", shard: "0/2", wantErr: "mutually exclusive"},
-		{name: "ab vs scenario", ab: "a.json,b.json", scenario: "s.json", wantErr: "-ab replaces -scenario"},
+		{name: "bad shard syntax", in: shardFlagInputs{Shard: "nope", Scenario: "s.json"}, wantErr: "shard"},
+		{name: "shard out of range", in: shardFlagInputs{Shard: "4/4", Scenario: "s.json"}, wantErr: "outside"},
+		{name: "shard needs scenario", in: shardFlagInputs{Shard: "0/2"}, wantErr: "-scenario is required"},
+		{name: "shard vs shards", in: shardFlagInputs{Shard: "0/2", Shards: 2, Scenario: "s.json"}, wantErr: "mutually exclusive"},
+		{name: "negative shards", in: shardFlagInputs{Shards: -1}, wantErr: ">= 0"},
+		{name: "negative retries", in: shardFlagInputs{Shards: 2, Scenario: "s.json", Retries: -1}, wantErr: "-retries"},
+		{name: "negative stall", in: shardFlagInputs{Shards: 2, Scenario: "s.json", Stall: -time.Second}, wantErr: "-stall"},
+		{name: "shards need scenario", in: shardFlagInputs{Shards: 2}, wantErr: "-scenario is required"},
+		{name: "chaos needs parent", in: shardFlagInputs{Scenario: "s.json", Chaos: 7}, wantErr: "parent mode"},
+		{name: "chaos in worker", in: shardFlagInputs{Shard: "0/2", Scenario: "s.json", Chaos: 7}, wantErr: "parent mode"},
+		{name: "partial needs parent", in: shardFlagInputs{Scenario: "s.json", Partial: true}, wantErr: "parent mode"},
+		{name: "chaos in ab", in: shardFlagInputs{AB: "a.json,b.json", Shards: 2, Chaos: 7}, wantErr: "parent mode"},
+		{name: "ab wants two files", in: shardFlagInputs{AB: "a.json"}, wantErr: "exactly two"},
+		{name: "ab three files", in: shardFlagInputs{AB: "a,b,c"}, wantErr: "exactly two"},
+		{name: "ab empty side", in: shardFlagInputs{AB: "a.json,"}, wantErr: "exactly two"},
+		{name: "ab vs shard", in: shardFlagInputs{AB: "a.json,b.json", Shard: "0/2"}, wantErr: "mutually exclusive"},
+		{name: "ab vs scenario", in: shardFlagInputs{AB: "a.json,b.json", Scenario: "s.json"}, wantErr: "-ab replaces -scenario"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			mode, err := parseShardFlags(c.shard, c.shards, c.ab, c.scenario, c.out, c.checkpoint)
+			mode, err := parseShardFlags(c.in)
 			if c.wantErr != "" {
 				if err == nil {
 					t.Fatalf("got mode %+v, want error containing %q", mode, c.wantErr)
@@ -72,7 +78,7 @@ func TestParseShardFlags(t *testing.T) {
 }
 
 func TestParseShardFlagsWorkerFields(t *testing.T) {
-	mode, err := parseShardFlags("2/3", 0, "", "s.json", "out.jsonl", "")
+	mode, err := parseShardFlags(shardFlagInputs{Shard: "2/3", Scenario: "s.json", Out: "out.jsonl"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,6 +87,32 @@ func TestParseShardFlagsWorkerFields(t *testing.T) {
 	}
 	if mode.Out != "out.jsonl" {
 		t.Fatalf("out = %q", mode.Out)
+	}
+}
+
+// TestParseShardFlagsParentDefaults: parent mode normalizes the
+// supervision knobs so zero values never mean "no retries" or "no stall
+// deadline".
+func TestParseShardFlagsParentDefaults(t *testing.T) {
+	mode, err := parseShardFlags(shardFlagInputs{Shards: 2, Scenario: "s.json", Rescue: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Retries != 3 {
+		t.Fatalf("Retries = %d, want default 3", mode.Retries)
+	}
+	if mode.Stall != 2*time.Minute {
+		t.Fatalf("Stall = %v, want default 2m", mode.Stall)
+	}
+	if !mode.Rescue {
+		t.Fatal("Rescue flag not carried into parent mode")
+	}
+	mode, err = parseShardFlags(shardFlagInputs{Shards: 2, Scenario: "s.json", Retries: 5, Stall: 7 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Retries != 5 || mode.Stall != 7*time.Second {
+		t.Fatalf("explicit knobs not forwarded: %+v", mode)
 	}
 }
 

@@ -1,0 +1,408 @@
+// The shard supervisor: the parent half of a multi-process sweep,
+// rebuilt as a self-healing process manager. Each shard child is watched
+// through its checkpoint log (liveness = log growth), stalled children
+// are killed at a deadline, failures are classified transient/permanent
+// and retried with capped exponential backoff and deterministic jitter,
+// and jobs stranded by dead shards are recomputed in-process from the
+// merge's missing-index list — a pure function of the surviving records,
+// so recovery never changes the merged bytes. See DESIGN.md §14.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"sprout/internal/engine"
+	"sprout/internal/fault"
+	"sprout/internal/harness"
+	"sprout/internal/scenario"
+)
+
+// Child exit codes with contractual meaning. Everything else — including
+// the fault injector's distinct codes and kill signals — is transient.
+const (
+	// exitUsage: the child rejected its flags. Retrying cannot help and
+	// every sibling will fail identically, so the supervisor fails fast.
+	exitUsage = 2
+	// exitPermanent: the child found permanent data damage — a corrupt
+	// (terminated-garbage) checkpoint log, or an unloadable scenario
+	// grid. Retries would hit the same bytes; the shard is declared dead
+	// immediately and its jobs routed to rescue.
+	exitPermanent = 3
+)
+
+// failureClass buckets one child exit for the retry decision.
+type failureClass int
+
+const (
+	classTransient failureClass = iota
+	classPermanent
+	classUsage
+)
+
+// classifyCode maps a child exit status to its failure class.
+func classifyCode(code int) failureClass {
+	switch code {
+	case exitUsage:
+		return classUsage
+	case exitPermanent:
+		return classPermanent
+	default:
+		return classTransient
+	}
+}
+
+// classify buckets a child-attempt error: exit statuses through
+// classifyCode, anything else (kill signals surface as code -1, start
+// failures, stall kills) as transient.
+func classify(err error) failureClass {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return classifyCode(ee.ExitCode())
+	}
+	return classTransient
+}
+
+// backoff produces the retry delay schedule: exponential doubling from
+// base to cap, each delay jittered uniformly into [d/2, d] so a fleet of
+// failed shards does not retry in lockstep. The jitter stream is seeded
+// per shard (DeriveSeed of the sweep seed), making every schedule
+// reproducible — a chaos run's timing is as replayable as its faults.
+type backoff struct {
+	d, cap time.Duration
+	rng    *rand.Rand
+}
+
+func newBackoff(base, cap time.Duration, rng *rand.Rand) *backoff {
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	return &backoff{d: base, cap: cap, rng: rng}
+}
+
+// next returns the jittered delay for the coming retry and advances the
+// schedule.
+func (b *backoff) next() time.Duration {
+	d := b.d
+	b.d *= 2
+	if b.d > b.cap {
+		b.d = b.cap
+	}
+	half := d / 2
+	return half + time.Duration(b.rng.Int63n(int64(half)+1))
+}
+
+// stallTracker detects a live-but-wedged child from its checkpoint log:
+// the log's size is the shard's heartbeat (every completed job appends a
+// record), so a log that stops growing for longer than the deadline
+// means the child is stalled even though the process is still running.
+type stallTracker struct {
+	deadline time.Duration
+	last     time.Time
+	size     int64
+}
+
+func newStallTracker(now time.Time, deadline time.Duration) *stallTracker {
+	return &stallTracker{deadline: deadline, last: now}
+}
+
+// observe feeds one liveness sample; it reports whether the stall
+// deadline has expired. Growth of any size resets the deadline — a slow
+// shard making progress is never killed, only a silent one.
+func (st *stallTracker) observe(now time.Time, size int64) bool {
+	if size > st.size {
+		st.size, st.last = size, now
+	}
+	return now.Sub(st.last) > st.deadline
+}
+
+// superviseConfig parameterizes one supervised multi-process sweep.
+type superviseConfig struct {
+	// Exe and ExtraEnv define how children launch. Tests point Exe at
+	// the test binary and mark children via ExtraEnv.
+	Exe      string
+	ExtraEnv []string
+	// Scenario is the grid file children load; Specs the same grid
+	// loaded in-process (for fingerprints, merging and rescue).
+	Scenario string
+	Specs    []scenario.Spec
+	// Dir is the checkpoint directory; Shards the decomposition width.
+	Dir    string
+	Shards int
+	// Retries bounds attempts per shard; Stall is the liveness deadline;
+	// Poll the liveness sampling interval.
+	Retries int
+	Stall   time.Duration
+	Poll    time.Duration
+	// BackoffBase/BackoffCap bound the retry delay schedule.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Opt carries duration/skip/seed down to children and seeds the
+	// backoff jitter; Parallel is the CLI worker override.
+	Opt      harness.Options
+	Parallel int
+	// Plan injects deterministic faults into child attempts (nil = no
+	// chaos).
+	Plan fault.Plan
+	// Rescue recomputes dead shards' jobs in-process; false leaves them
+	// missing for the caller (-partial or a hard failure).
+	Rescue bool
+	// Log receives supervision events (nil = silent).
+	Log io.Writer
+}
+
+// shardOutcome records how one shard's supervision ended.
+type shardOutcome struct {
+	Shard    int
+	Attempts int
+	// Dead: the shard did not complete (retries exhausted or permanent
+	// failure); its unfinished jobs need rescue.
+	Dead bool
+	// Usage: the child rejected its flags — a supervisor bug, fatal.
+	Usage bool
+	Err   error
+}
+
+// superviseSummary is a supervised sweep's result.
+type superviseSummary struct {
+	Results []scenario.Result
+	// Missing lists global job indexes absent from the merge (empty
+	// unless rescue is disabled or failed).
+	Missing  []int
+	Outcomes []shardOutcome
+	// Rescued counts jobs recomputed in-process; Quarantined counts
+	// shard logs whose damaged tail was moved aside.
+	Rescued     int
+	Quarantined int
+}
+
+func (cfg *superviseConfig) logf(format string, args ...any) {
+	if cfg.Log != nil {
+		fmt.Fprintf(cfg.Log, format+"\n", args...)
+	}
+}
+
+// supervise runs the sweep: stamp the checkpoint identity, run every
+// shard under the retry/stall state machine, salvage dead shards' logs,
+// merge, rescue what is missing, and re-merge. The merged bytes are
+// byte-identical to a fault-free run whenever the grid ends complete —
+// records are pure functions of (index, spec), resume never recomputes a
+// completed job, and the merge orders by global index alone.
+func supervise(ctx context.Context, cfg superviseConfig) (superviseSummary, error) {
+	n := cfg.Shards
+	if n < 1 {
+		return superviseSummary{}, fmt.Errorf("supervise: %d shards", n)
+	}
+	if cfg.Retries < 1 {
+		cfg.Retries = 1
+	}
+	if cfg.Stall <= 0 {
+		cfg.Stall = 2 * time.Minute
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 250 * time.Millisecond
+	}
+	if err := engine.EnsureManifest(cfg.Dir, engine.Manifest{
+		Fingerprint: scenario.Fingerprint(cfg.Specs, n), Shards: n, Jobs: len(cfg.Specs),
+	}); err != nil {
+		return superviseSummary{}, err
+	}
+
+	sum := superviseSummary{Outcomes: make([]shardOutcome, n)}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum.Outcomes[i] = cfg.superviseShard(ctx, i)
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return sum, err
+	}
+	for _, o := range sum.Outcomes {
+		if o.Usage {
+			return sum, o.Err
+		}
+	}
+
+	// Salvage: a dead shard's log may end in a torn or corrupt tail.
+	// Quarantining rewrites it down to the valid record prefix, so the
+	// merge below reads every survivable record.
+	for _, o := range sum.Outcomes {
+		if !o.Dead {
+			continue
+		}
+		path := engine.ShardLogPath(cfg.Dir, o.Shard)
+		if _, err := engine.QuarantineShardLog(path); err != nil {
+			if os.IsNotExist(err) {
+				continue // died before writing anything
+			}
+			return sum, err
+		}
+		if _, err := os.Stat(path + ".corrupt"); err == nil {
+			sum.Quarantined++
+			cfg.logf("sproutbench: shard %d: damaged log tail quarantined to %s.corrupt", o.Shard, path)
+		}
+	}
+
+	streams, rescue, err := scenario.ReadShardStreams(cfg.Dir, n)
+	if err != nil {
+		return sum, err
+	}
+	results, missing, err := scenario.MergeResultsPartial(streams, rescue, cfg.Specs)
+	if err != nil {
+		return sum, err
+	}
+
+	if len(missing) > 0 && cfg.Rescue {
+		if err := cfg.runRescue(ctx, missing); err != nil {
+			return sum, err
+		}
+		sum.Rescued = len(missing)
+		streams, rescue, err = scenario.ReadShardStreams(cfg.Dir, n)
+		if err != nil {
+			return sum, err
+		}
+		results, missing, err = scenario.MergeResultsPartial(streams, rescue, cfg.Specs)
+		if err != nil {
+			return sum, err
+		}
+	}
+	sum.Results, sum.Missing = results, missing
+	return sum, nil
+}
+
+// runRescue recomputes the missing job indexes in-process, appending
+// their records to the checkpoint's rescue log. The list is sorted (it
+// comes from the merge) and each record is a pure function of its index
+// and spec, so rescue output — like everything else — is deterministic.
+func (cfg *superviseConfig) runRescue(ctx context.Context, missing []int) error {
+	cfg.logf("sproutbench: rescue: recomputing %d job(s) stranded by dead shards: %v", len(missing), missing)
+	_, f, err := engine.OpenShardLog(engine.RescueLogPath(cfg.Dir))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := engine.NewRecordWriterSynced(f, f.Sync)
+	_, err = scenario.RunIndexes(ctx, engine.New(cfg.Parallel), cfg.Specs, nil, missing, w)
+	return err
+}
+
+// superviseShard drives one shard through the attempt state machine:
+// launch, watch, classify, back off, retry — and declare it dead when a
+// permanent failure appears or the retry budget runs out.
+func (cfg *superviseConfig) superviseShard(ctx context.Context, shard int) shardOutcome {
+	o := shardOutcome{Shard: shard}
+	logPath := engine.ShardLogPath(cfg.Dir, shard)
+	bo := newBackoff(cfg.BackoffBase, cfg.BackoffCap,
+		rand.New(rand.NewSource(engine.DeriveSeed(cfg.Opt.Seed, "backoff", strconv.Itoa(shard)))))
+	for attempt := 1; attempt <= cfg.Retries; attempt++ {
+		o.Attempts = attempt
+		err := cfg.runAttempt(ctx, shard, attempt, logPath)
+		if err == nil {
+			o.Err = nil
+			return o
+		}
+		o.Err = fmt.Errorf("shard %d/%d attempt %d/%d: %w", shard, cfg.Shards, attempt, cfg.Retries, err)
+		switch classify(err) {
+		case classUsage:
+			o.Usage, o.Dead = true, true
+			return o
+		case classPermanent:
+			o.Dead = true
+			cfg.logf("sproutbench: %v: permanent, not retrying", o.Err)
+			return o
+		}
+		if attempt < cfg.Retries {
+			delay := bo.next()
+			cfg.logf("sproutbench: %v: retrying in %v", o.Err, delay.Round(time.Millisecond))
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return o
+			}
+		}
+	}
+	o.Dead = true
+	cfg.logf("sproutbench: %v: retries exhausted, shard dead", o.Err)
+	return o
+}
+
+// runAttempt launches one child and supervises it to exit: the
+// checkpoint log is polled for growth, and a child whose log stops
+// growing past the stall deadline is killed (the kill is classified
+// transient — the next attempt resumes from the log it left).
+func (cfg *superviseConfig) runAttempt(ctx context.Context, shard, attempt int, logPath string) error {
+	sh := engine.Shard{Index: shard, Count: cfg.Shards}
+	cmd := exec.Command(cfg.Exe,
+		"-scenario", cfg.Scenario,
+		"-shard", sh.String(),
+		"-out", logPath,
+		"-duration", cfg.Opt.Duration.String(),
+		"-skip", cfg.Opt.Skip.String(),
+		"-seed", fmt.Sprint(cfg.Opt.Seed),
+		"-parallel", fmt.Sprint(childWorkers(cfg.Parallel, shard, cfg.Shards)),
+	)
+	// The fault variable is always set — cleared when no fault is
+	// planned — so a supervised child can never inherit stray chaos from
+	// the parent's own environment.
+	injected := ""
+	if f, ok := cfg.Plan.For(shard, attempt); ok {
+		injected = f.String()
+		cfg.logf("sproutbench: chaos: shard %d attempt %d runs with %s", shard, attempt, injected)
+	}
+	cmd.Env = append(append(os.Environ(), cfg.ExtraEnv...), fault.EnvVar+"="+injected)
+	cmd.Stderr = cfg.Log
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	st := newStallTracker(time.Now(), cfg.Stall)
+	ticker := time.NewTicker(cfg.Poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case err := <-done:
+			return err
+		case now := <-ticker.C:
+			var size int64
+			if fi, err := os.Stat(logPath); err == nil {
+				size = fi.Size()
+			}
+			if st.observe(now, size) {
+				cmd.Process.Kill()
+				werr := <-done
+				return fmt.Errorf("stalled (no checkpoint growth in %v), killed: %v", cfg.Stall, werr)
+			}
+		case <-ctx.Done():
+			cmd.Process.Kill()
+			<-done
+			return ctx.Err()
+		}
+	}
+}
+
+// formatMissing renders a missing-index report in full — the -partial
+// contract is the exact job list, not a sample.
+func formatMissing(missing []int) string {
+	sorted := append([]int{}, missing...)
+	sort.Ints(sorted)
+	return fmt.Sprint(sorted)
+}

@@ -14,6 +14,21 @@
 // only guards identity: resuming a directory recorded for a different
 // spec grid or shard count fails loudly instead of merging apples into
 // oranges.
+//
+// # Durability contract
+//
+// Checkpoints survive machine crashes, not just process crashes. Every
+// record append through NewRecordWriterSynced fsyncs before Write
+// returns — each record is a checkpoint boundary, so a crash at any
+// instant costs at most the record in flight (which the next resume
+// truncates as a torn tail). The manifest is written to a temp file,
+// fsynced, renamed into place, and the directory fsynced after the
+// rename, so the manifest name always refers to a complete old or
+// complete new file. OpenShardLog fsyncs the directory after open, so a
+// freshly created log's name is durable before any record lands in it.
+// What is NOT durable: the torn tail itself (by design), and records
+// written through the plain NewRecordWriter (in-memory sharding and
+// stdout streams, where durability is meaningless).
 package engine
 
 import (
@@ -39,6 +54,14 @@ const manifestName = "manifest.json"
 // ShardLogPath returns shard i's log path inside a checkpoint dir.
 func ShardLogPath(dir string, shard int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", shard))
+}
+
+// RescueLogPath returns the rescue stream's path inside a checkpoint
+// dir: records recomputed by the supervisor on behalf of dead shards.
+// The rescue log is merged ownership-exempt (MergePartial), because
+// holding other shards' indexes is its entire purpose.
+func RescueLogPath(dir string) string {
+	return filepath.Join(dir, "rescue.jsonl")
 }
 
 // LoadManifest reads a checkpoint directory's manifest. A missing file
@@ -68,12 +91,18 @@ func (m Manifest) Write(dir string) error {
 		return err
 	}
 	_, werr := tmp.Write(append(raw, '\n'))
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("engine: write checkpoint manifest: %w", firstErr(werr, cerr))
+		return fmt.Errorf("engine: write checkpoint manifest: %w", firstErr(werr, serr, cerr))
 	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, manifestName))
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	// Make the rename itself durable: until the directory is synced, a
+	// machine crash could resurrect the old name.
+	return syncDir(dir)
 }
 
 // EnsureManifest opens-or-creates a checkpoint directory for the given
@@ -127,7 +156,61 @@ func OpenShardLog(path string) ([]Record, *os.File, error) {
 		f.Close()
 		return nil, nil, err
 	}
+	// A freshly created log's directory entry must be durable before any
+	// record lands in it, or a machine crash could lose the whole file
+	// while the writer believes its records are fsynced.
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
 	return recs, f, nil
+}
+
+// QuarantineShardLog salvages a shard log whose tail is corrupt (a
+// terminated malformed line — see ErrCorruptLog). The damaged log is
+// renamed aside to <path>.corrupt for post-mortem, and <path> is
+// rewritten as just the valid record prefix, fsynced, so later merge
+// and resume passes read a clean log. It returns the salvaged records.
+// A log that parses cleanly is returned unchanged with no rename — the
+// call is idempotent and safe to apply to any dead shard's log.
+func QuarantineShardLog(path string) ([]Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	recs, good, perr := parseRecords(raw)
+	if perr == nil && good == int64(len(raw)) {
+		return recs, nil
+	}
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	_, werr := f.Write(raw[:good])
+	serr := f.Sync()
+	cerr := f.Close()
+	if err := firstErr(werr, serr, cerr); err != nil {
+		return nil, fmt.Errorf("engine: rewrite quarantined shard log %s: %w", path, err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// syncDir fsyncs a directory, making renames and creations within it
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	return firstErr(serr, cerr)
 }
 
 func firstErr(errs ...error) error {

@@ -14,12 +14,21 @@ package engine
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// ErrCorruptLog marks permanent shard-log damage: a terminated malformed
+// line. Unlike the torn unterminated tail a kill leaves (silently
+// truncated on resume), a corrupt line means the log can no longer be
+// appended to safely — retrying the same shard against it will fail
+// forever. Supervisors test for it with errors.Is and route the shard to
+// quarantine-and-rescue (QuarantineShardLog) instead of retrying.
+var ErrCorruptLog = errors.New("corrupt shard log")
 
 // Shard identifies one partition of a job grid: shard Index of Count.
 // The zero value is not valid; Count must be >= 1 and 0 <= Index < Count.
@@ -88,15 +97,29 @@ type Record struct {
 // append-mode file loses at most the torn tail of the line in flight
 // when the process is killed — ReadRecords discards exactly that.
 type RecordWriter struct {
-	w   io.Writer
-	buf []byte
+	w    io.Writer
+	buf  []byte
+	sync func() error
 }
 
 // NewRecordWriter wraps w. For checkpoint logs, open the file in append
 // mode so concurrent retries cannot interleave mid-line.
 func NewRecordWriter(w io.Writer) *RecordWriter { return &RecordWriter{w: w} }
 
-// Write appends one record line.
+// NewRecordWriterSynced is NewRecordWriter plus a durability barrier:
+// after each record line lands, sync runs (os.File.Sync for checkpoint
+// logs) before Write returns. Every record is a checkpoint boundary, so
+// the fsync-per-record discipline bounds what any crash — process or
+// whole machine — can cost to the single record in flight; everything
+// Write has returned for is durable. Simulation jobs run for orders of
+// magnitude longer than an fsync, so the barrier is free at this
+// granularity.
+func NewRecordWriterSynced(w io.Writer, sync func() error) *RecordWriter {
+	return &RecordWriter{w: w, sync: sync}
+}
+
+// Write appends one record line, then applies the durability barrier if
+// this writer has one.
 func (rw *RecordWriter) Write(rec Record) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -107,13 +130,20 @@ func (rw *RecordWriter) Write(rec Record) error {
 	if _, err := rw.w.Write(rw.buf); err != nil {
 		return fmt.Errorf("engine: write record %d: %w", rec.Index, err)
 	}
+	if rw.sync != nil {
+		if err := rw.sync(); err != nil {
+			return fmt.Errorf("engine: sync record %d: %w", rec.Index, err)
+		}
+	}
 	return nil
 }
 
 // ReadRecords parses a shard log. A trailing unterminated line that does
 // not parse is discarded — it is the torn tail of a killed writer, and
 // dropping it is what lets a resumed sweep append to the same log. Any
-// terminated malformed line is an error: the log is corrupt, not torn.
+// terminated malformed line is an error wrapping ErrCorruptLog: the log
+// is corrupt, not torn. On that error the returned records still hold
+// the valid prefix — the salvage a supervisor rescues from.
 func ReadRecords(r io.Reader) ([]Record, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
@@ -125,7 +155,9 @@ func ReadRecords(r io.Reader) ([]Record, error) {
 
 // parseRecords returns the records in raw plus the byte offset just past
 // the last complete, valid record — the truncation point a resuming
-// writer must seek to.
+// writer must seek to. On a corrupt (terminated malformed) line it
+// returns the valid prefix records and offset alongside the error, so
+// salvage paths need no second parse.
 func parseRecords(raw []byte) ([]Record, int64, error) {
 	var recs []Record
 	var good int64
@@ -137,7 +169,7 @@ func parseRecords(raw []byte) ([]Record, int64, error) {
 				// Torn tail of a killed writer: not part of the log.
 				return recs, good, nil
 			}
-			return nil, good, fmt.Errorf("engine: shard log line %d: %w", lineNo, err)
+			return recs, good, fmt.Errorf("engine: %w: line %d: %v", ErrCorruptLog, lineNo, err)
 		}
 		recs = append(recs, rec)
 		good += int64(len(line)) + 1
@@ -159,9 +191,32 @@ func parseRecords(raw []byte) ([]Record, int64, error) {
 // completion order, so the merged bytes are identical for any
 // decomposition of the same grid.
 func MergeRecords(streams [][]Record, total int) ([]Record, error) {
+	merged, missing, err := MergePartial(streams, nil, total)
+	if err != nil {
+		return nil, err
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("engine: merge incomplete: %d of %d jobs missing (first: %v)", len(missing), total, missing[:min(len(missing), 8)])
+	}
+	return merged, nil
+}
+
+// MergePartial is the merge underneath MergeRecords, split for the two
+// recovery paths a supervisor needs. It tolerates incompleteness —
+// returning the records present (ascending index) plus the sorted list
+// of missing indexes instead of failing — and it accepts an optional
+// rescue stream: records recomputed on behalf of dead shards, exempt
+// from the per-stream ownership check because reassignment is exactly
+// the point. The missing list is what makes rescue deterministic: the
+// ownership contract plus the append-only logs make it a pure function
+// of the surviving records, so any supervisor inspecting the same logs
+// reassigns the identical job set. Out-of-range indexes and ownership
+// violations within the shard streams remain hard errors — they mean the
+// decomposition itself is broken, which no amount of recomputing fixes.
+func MergePartial(streams [][]Record, rescue []Record, total int) (present []Record, missing []int, err error) {
 	shards := len(streams)
 	if shards == 0 {
-		return nil, fmt.Errorf("engine: merge of zero shard streams")
+		return nil, nil, fmt.Errorf("engine: merge of zero shard streams")
 	}
 	merged := make([]Record, total)
 	seen := make([]bool, total)
@@ -169,25 +224,31 @@ func MergeRecords(streams [][]Record, total int) ([]Record, error) {
 		sh := Shard{Index: si, Count: shards}
 		for _, rec := range stream {
 			if rec.Index < 0 || rec.Index >= total {
-				return nil, fmt.Errorf("engine: shard %s: record index %d outside job grid [0, %d)", sh, rec.Index, total)
+				return nil, nil, fmt.Errorf("engine: shard %s: record index %d outside job grid [0, %d)", sh, rec.Index, total)
 			}
 			if !sh.Owns(rec.Index) {
-				return nil, fmt.Errorf("engine: shard %s holds record %d owned by shard %d/%d", sh, rec.Index, rec.Index%shards, shards)
+				return nil, nil, fmt.Errorf("engine: shard %s holds record %d owned by shard %d/%d", sh, rec.Index, rec.Index%shards, shards)
 			}
 			merged[rec.Index] = rec
 			seen[rec.Index] = true
 		}
 	}
-	var missing []int
+	for _, rec := range rescue {
+		if rec.Index < 0 || rec.Index >= total {
+			return nil, nil, fmt.Errorf("engine: rescue stream: record index %d outside job grid [0, %d)", rec.Index, total)
+		}
+		merged[rec.Index] = rec
+		seen[rec.Index] = true
+	}
+	present = merged[:0]
 	for i, ok := range seen {
-		if !ok {
+		if ok {
+			present = append(present, merged[i])
+		} else {
 			missing = append(missing, i)
 		}
 	}
-	if len(missing) > 0 {
-		return nil, fmt.Errorf("engine: merge incomplete: %d of %d jobs missing (first: %v)", len(missing), total, missing[:min(len(missing), 8)])
-	}
-	return merged, nil
+	return present, missing, nil
 }
 
 // CompletedIndexes returns the sorted, deduplicated job indexes present

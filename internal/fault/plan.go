@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"math/rand"
+	"strconv"
+	"time"
+
+	"sprout/internal/engine"
+)
+
+// SlowStart is the fixed Slow-fault duration generated plans use: long
+// enough to be a visible laggard, far below any sane stall deadline, so
+// a supervisor that kills slow starters fails the chaos suite.
+const SlowStart = 300 * time.Millisecond
+
+// NewPlan derives a reproducible chaos plan for a sweep of the given
+// width: each shard independently draws its per-attempt fault sequence
+// from randomness seeded by (seed, shard), so the same seed always yields
+// the same schedule — a failing chaos seed in CI replays exactly locally.
+//
+// The distribution is tuned for a supervisor with `retries` attempts per
+// shard: most shards draw either nothing or a short transient sequence
+// (strictly fewer faults than retries, so a later attempt runs clean),
+// and a minority draw a "killer" — a permanent corruption, or `retries`
+// consecutive crashes — that forces the shard to be declared dead and its
+// remaining jobs reassigned to the rescue path. stallFor is the sleep a
+// Stall fault injects; callers set it comfortably above the supervisor's
+// stall deadline (so detection, not patience, ends the stall) while
+// keeping the worst case bounded if detection is broken.
+func NewPlan(seed int64, shards, retries int, stallFor time.Duration) Plan {
+	if retries < 1 {
+		retries = 1
+	}
+	p := Plan{}
+	for s := 0; s < shards; s++ {
+		r := rand.New(rand.NewSource(engine.DeriveSeed(seed, "chaos", strconv.Itoa(s))))
+		if fs := shardFaults(r, retries, stallFor); len(fs) > 0 {
+			p[s] = fs
+		}
+	}
+	return p
+}
+
+func shardFaults(r *rand.Rand, retries int, stallFor time.Duration) []Fault {
+	switch roll := r.Float64(); {
+	case roll < 0.30:
+		return nil // this shard runs clean
+	case roll < 0.80:
+		// Transient: fewer faults than attempts, so the shard recovers
+		// by itself (every fault still exercises resume-from-log).
+		n := 1 + r.Intn(2)
+		if n > retries-1 {
+			n = retries - 1
+		}
+		fs := make([]Fault, 0, n)
+		stalls := 0
+		for len(fs) < n {
+			fs = append(fs, transientFault(r, stallFor, &stalls))
+		}
+		return fs
+	case roll < 0.90:
+		// Permanent: a corrupt record makes the next resume refuse the
+		// log — the shard is dead on classification, not on retry count.
+		return []Fault{{Kind: Corrupt, After: r.Intn(2)}}
+	default:
+		// Exhaustion: every attempt crashes, so retries run out and the
+		// shard's remaining jobs must be rescued.
+		fs := make([]Fault, retries)
+		for i := range fs {
+			fs[i] = Fault{Kind: Crash, After: r.Intn(3)}
+		}
+		return fs
+	}
+}
+
+// transientFault draws one recoverable fault. At most one stall per shard
+// keeps chaos wall-clock bounded (each stall costs a full supervisor
+// deadline before the kill).
+func transientFault(r *rand.Rand, stallFor time.Duration, stalls *int) Fault {
+	for {
+		switch r.Intn(5) {
+		case 0:
+			return Fault{Kind: Crash, After: r.Intn(3)}
+		case 1:
+			// Transient exit codes deliberately avoid the worker's
+			// permanent-failure codes (2 = usage, 3 = data).
+			return Fault{Kind: Exit, After: r.Intn(3), Code: 1 + 6*r.Intn(2)}
+		case 2:
+			return Fault{Kind: Torn, After: r.Intn(3), Bytes: 1 + r.Intn(48)}
+		case 3:
+			if *stalls >= 1 {
+				continue
+			}
+			*stalls++
+			return Fault{Kind: Stall, After: r.Intn(2), For: stallFor}
+		default:
+			return Fault{Kind: Slow, For: SlowStart}
+		}
+	}
+}

@@ -161,32 +161,61 @@ func CompileShardJobs(specs []Spec, traces *engine.Cache, shard engine.Shard, sk
 		traces = engine.NewCache()
 	}
 	var jobs []engine.Job
-	for i, spec := range specs {
+	for i := range specs {
 		if !shard.Owns(i) || (skip != nil && skip(i)) {
 			continue
 		}
-		i := i
-		name := spec.Label()
-		norm, err := spec.Normalize()
-		if err != nil {
-			err := err
-			jobs = append(jobs, engine.Job{Name: name, Run: func(context.Context, *engine.WorkerState) error {
-				return err
-			}})
-			continue
-		}
-		jobs = append(jobs, engine.Job{
-			Name: name,
-			Run: func(_ context.Context, ws *engine.WorkerState) error {
-				res, err := runNormalized(norm, traces, worldFor(ws))
-				if err != nil {
-					return err
-				}
-				return sink(i, res)
-			},
-		})
+		jobs = append(jobs, indexJob(specs, i, traces, sink))
 	}
 	return jobs, traces
+}
+
+// CompileIndexJobs compiles jobs for an explicit set of global indexes —
+// the rescue path: a supervisor recomputing a dead shard's missing jobs
+// in-process. Job identity follows CompileShardJobs exactly (label,
+// normalization and seed derivation hang off the global index), so a
+// rescued record is byte-identical to the one the dead shard would have
+// written. Out-of-range indexes are an error: the missing-index list is
+// computed from the merge, so a bad index means a broken caller, not a
+// recoverable condition.
+func CompileIndexJobs(specs []Spec, traces *engine.Cache, indexes []int, sink func(int, Result) error) ([]engine.Job, *engine.Cache, error) {
+	if traces == nil {
+		traces = engine.NewCache()
+	}
+	jobs := make([]engine.Job, 0, len(indexes))
+	for _, i := range indexes {
+		if i < 0 || i >= len(specs) {
+			return nil, nil, fmt.Errorf("scenario: rescue index %d outside spec grid [0, %d)", i, len(specs))
+		}
+		jobs = append(jobs, indexJob(specs, i, traces, sink))
+	}
+	return jobs, traces, nil
+}
+
+// indexJob compiles the job for one global index. Specs are normalized
+// at compile time exactly as CompileJobs does — position in the full
+// grid determines a job's identity, name and seed derivation, regardless
+// of which shard (or rescue pass) runs it.
+func indexJob(specs []Spec, i int, traces *engine.Cache, sink func(int, Result) error) engine.Job {
+	spec := specs[i]
+	name := spec.Label()
+	norm, err := spec.Normalize()
+	if err != nil {
+		err := err
+		return engine.Job{Name: name, Run: func(context.Context, *engine.WorkerState) error {
+			return err
+		}}
+	}
+	return engine.Job{
+		Name: name,
+		Run: func(_ context.Context, ws *engine.WorkerState) error {
+			res, err := runNormalized(norm, traces, worldFor(ws))
+			if err != nil {
+				return err
+			}
+			return sink(i, res)
+		},
+	}
 }
 
 // lockedSink serializes record emission from one shard's concurrent
@@ -224,6 +253,22 @@ func RunShard(ctx context.Context, eng *engine.Engine, specs []Spec, shard engin
 	st, err := eng.Run(ctx, jobs)
 	if err != nil {
 		return st, fmt.Errorf("scenario: shard %s: %w", shard, err)
+	}
+	return st, nil
+}
+
+// RunIndexes recomputes an explicit set of global job indexes, streaming
+// each record to w as it completes — the supervisor's rescue engine for
+// jobs whose shard died. Records are byte-identical to what the owning
+// shard would have produced (see CompileIndexJobs).
+func RunIndexes(ctx context.Context, eng *engine.Engine, specs []Spec, traces *engine.Cache, indexes []int, w *engine.RecordWriter) (engine.Stats, error) {
+	jobs, _, err := CompileIndexJobs(specs, traces, indexes, lockedSink(w))
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	st, err := eng.Run(ctx, jobs)
+	if err != nil {
+		return st, fmt.Errorf("scenario: rescue: %w", err)
 	}
 	return st, nil
 }
@@ -296,7 +341,7 @@ func RunSharded(ctx context.Context, specs []Spec, opt ShardedOptions) ([]Result
 				closeShardFiles(ios[:i])
 				return nil, engine.Stats{}, err
 			}
-			ios[i] = shardIO{w: engine.NewRecordWriter(f), file: f, done: engine.CompletedIndexes(recs)}
+			ios[i] = shardIO{w: engine.NewRecordWriterSynced(f, f.Sync), file: f, done: engine.CompletedIndexes(recs)}
 		}
 	} else {
 		for i := range ios {
@@ -392,21 +437,85 @@ func memberOf(idxs []int) func(int) bool {
 // len(streams)) into index-ordered Results, verifying completeness and
 // shard ownership.
 func MergeResults(streams [][]engine.Record, specs []Spec) ([]Result, error) {
-	recs, err := engine.MergeRecords(streams, len(specs))
+	return MergeResultsRescued(streams, nil, specs)
+}
+
+// MergeResultsRescued is MergeResults plus an ownership-exempt rescue
+// stream (records a supervisor recomputed for dead shards). The merge
+// must still be complete.
+func MergeResultsRescued(streams [][]engine.Record, rescue []engine.Record, specs []Spec) ([]Result, error) {
+	results, missing, err := MergeResultsPartial(streams, rescue, specs)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]Result, len(recs))
-	for i, rec := range recs {
-		if results[i], err = DecodeResult(rec, specs); err != nil {
-			return nil, err
+	if len(missing) > 0 {
+		n := len(missing)
+		if n > 8 {
+			missing = missing[:8]
 		}
+		return nil, fmt.Errorf("scenario: merge incomplete: %d of %d jobs missing (first: %v)", n, len(specs), missing)
 	}
 	return results, nil
 }
 
+// MergeResultsPartial merges whatever completed, decoding the present
+// records and reporting the sorted missing global indexes instead of
+// failing — the -partial graceful-degradation path. Decomposition errors
+// (ownership violations, out-of-range indexes) remain hard failures.
+func MergeResultsPartial(streams [][]engine.Record, rescue []engine.Record, specs []Spec) ([]Result, []int, error) {
+	recs, missing, err := engine.MergePartial(streams, rescue, len(specs))
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([]Result, len(recs))
+	for i, rec := range recs {
+		if results[i], err = DecodeResult(rec, specs); err != nil {
+			return nil, nil, err
+		}
+	}
+	return results, missing, nil
+}
+
+// ReadShardStreams reads a checkpoint directory's per-shard logs plus
+// its rescue log, for merging. A missing shard log reads as an empty
+// stream — a shard that died before writing anything is a recovery
+// condition, not an I/O error — and a missing rescue log as no rescues.
+// Corrupt logs fail with engine.ErrCorruptLog; run
+// engine.QuarantineShardLog on dead shards' logs first.
+func ReadShardStreams(dir string, shards int) (streams [][]engine.Record, rescue []engine.Record, err error) {
+	streams = make([][]engine.Record, shards)
+	for i := 0; i < shards; i++ {
+		streams[i], err = readRecordFile(engine.ShardLogPath(dir, i))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	rescue, err = readRecordFile(engine.RescueLogPath(dir))
+	if err != nil {
+		return nil, nil, err
+	}
+	return streams, rescue, nil
+}
+
+func readRecordFile(path string) ([]engine.Record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	recs, err := engine.ReadRecords(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return recs, nil
+}
+
 // MergeShardLogs reads a checkpoint directory written by a completed
-// sweep (in-process or child processes) and reconstructs the results.
+// sweep (in-process or child processes) and reconstructs the results,
+// folding in any rescue log a supervisor left.
 func MergeShardLogs(dir string, specs []Spec, shards int) ([]Result, error) {
 	want := engine.Manifest{Fingerprint: Fingerprint(specs, shards), Shards: shards, Jobs: len(specs)}
 	have, err := engine.LoadManifest(dir)
@@ -416,19 +525,11 @@ func MergeShardLogs(dir string, specs []Spec, shards int) ([]Result, error) {
 	if have != want {
 		return nil, fmt.Errorf("scenario: checkpoint %s does not match this sweep (manifest %+v)", dir, have)
 	}
-	streams := make([][]engine.Record, shards)
-	for i := 0; i < shards; i++ {
-		f, err := os.Open(engine.ShardLogPath(dir, i))
-		if err != nil {
-			return nil, err
-		}
-		streams[i], err = engine.ReadRecords(f)
-		f.Close()
-		if err != nil {
-			return nil, err
-		}
+	streams, rescue, err := ReadShardStreams(dir, shards)
+	if err != nil {
+		return nil, err
 	}
-	return MergeResults(streams, specs)
+	return MergeResultsRescued(streams, rescue, specs)
 }
 
 // WriteMergedRecords encodes results (a full grid, in index order) as
