@@ -223,10 +223,11 @@ func TestSupervisePartialReportsMissing(t *testing.T) {
 	}
 }
 
-// TestSuperviseQuarantinesCorruptLog: a corrupt record kills the shard
-// on its next resume (permanent classification), the damaged log is
-// quarantined down to its valid prefix, and only the genuinely lost
-// jobs are rescued.
+// TestSuperviseQuarantinesCorruptLog: a corrupt record is caught by the
+// supervisor's own checkpoint pull on the attempt that wrote it
+// (permanent classification — no retry burns against damaged bytes),
+// the damaged log is quarantined down to its valid prefix, and only the
+// genuinely lost jobs are rescued.
 func TestSuperviseQuarantinesCorruptLog(t *testing.T) {
 	scenarioPath := chaosScenario(t)
 	specs, _, err := loadScenarioSpecs(scenarioPath, chaosOptions())
@@ -242,8 +243,8 @@ func TestSuperviseQuarantinesCorruptLog(t *testing.T) {
 	if !sum.Outcomes[0].Dead {
 		t.Fatal("shard 0 survived a corrupt log")
 	}
-	if sum.Outcomes[0].Attempts != 2 {
-		t.Fatalf("shard 0 used %d attempts, want 2 (corruption is permanent on resume, not retried)", sum.Outcomes[0].Attempts)
+	if sum.Outcomes[0].Attempts != 1 {
+		t.Fatalf("shard 0 used %d attempts, want 1 (the pull detects corruption on the attempt that wrote it)", sum.Outcomes[0].Attempts)
 	}
 	if sum.Quarantined != 1 {
 		t.Fatalf("quarantined %d logs, want 1", sum.Quarantined)

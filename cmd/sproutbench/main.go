@@ -75,8 +75,11 @@ func main() {
 	outFlag := flag.String("out", "", "JSONL destination for -shard (default stdout); an existing log is resumed, not recomputed")
 	shardsFlag := flag.Int("shards", 0, "parent mode: fan the -scenario grid across this many child processes and merge their JSONL")
 	checkpointFlag := flag.String("checkpoint", "", "checkpoint directory for -shards: a killed sweep rerun resumes from the shard logs here")
+	hostsFlag := flag.String("hosts", "", "comma-separated host pool for -shards: shards are dispatched across these hosts with health scoring and failover")
+	transportFlag := flag.String("transport", "", "remote dispatch command template for -hosts, e.g. \"ssh {host} -- {exe}\"; {exe} marks where the worker command goes")
 	retriesFlag := flag.Int("retries", 3, "attempts per shard before the supervisor declares it dead (with -shards; 0 = default)")
 	stallFlag := flag.Duration("stall", 2*time.Minute, "kill a shard child whose checkpoint log stops growing for this long (with -shards; 0 = default)")
+	timeoutFlag := flag.Duration("timeout", 0, "sweep-wide deadline for -shards: an expired sweep terminates its children and exits via the -partial path with the exact missing-index report (0 = none)")
 	chaosFlag := flag.Int64("chaos", 0, "seed a deterministic fault-injection plan into the supervised children (with -shards; 0 = off); the merged output must be unchanged")
 	partialFlag := flag.Bool("partial", false, "with -shards: merge whatever completed and report the exact missing job indexes instead of failing")
 	rescueFlag := flag.Bool("rescue", true, "with -shards: recompute dead shards' remaining jobs in-process instead of failing the sweep")
@@ -124,8 +127,11 @@ func main() {
 		Scenario:   *scenarioFile,
 		Out:        *outFlag,
 		Checkpoint: *checkpointFlag,
+		Hosts:      *hostsFlag,
+		Transport:  *transportFlag,
 		Retries:    *retriesFlag,
 		Stall:      *stallFlag,
+		Timeout:    *timeoutFlag,
 		Chaos:      *chaosFlag,
 		Partial:    *partialFlag,
 		Rescue:     *rescueFlag,

@@ -11,10 +11,13 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
+	"sprout/internal/dispatch"
 	"sprout/internal/engine"
 	"sprout/internal/fault"
 	"sprout/internal/harness"
@@ -34,9 +37,17 @@ type shardMode struct {
 	Checkpoint string
 	// AB holds the two variant scenario files in A/B mode.
 	AB []string
+	// Hosts is the dispatch pool for parent mode (empty = one implicit
+	// local host); Transport the remote command template ("" = local
+	// child processes).
+	Hosts     []string
+	Transport string
 	// Retries bounds attempts per shard; Stall is the liveness deadline.
 	Retries int
 	Stall   time.Duration
+	// Timeout is the sweep-wide deadline (0 = none); an expired sweep
+	// exits via the -partial path with the exact missing-index report.
+	Timeout time.Duration
 	// Chaos, when nonzero, seeds a deterministic fault plan.
 	Chaos int64
 	// Partial tolerates an incomplete merge (report + degrade, exit 0);
@@ -53,8 +64,11 @@ type shardFlagInputs struct {
 	Scenario   string
 	Out        string
 	Checkpoint string
+	Hosts      string
+	Transport  string
 	Retries    int
 	Stall      time.Duration
+	Timeout    time.Duration
 	Chaos      int64
 	Partial    bool
 	Rescue     bool
@@ -74,6 +88,9 @@ func parseShardFlags(in shardFlagInputs) (shardMode, error) {
 	if in.Stall < 0 {
 		return m, fmt.Errorf("-stall must be >= 0, got %v", in.Stall)
 	}
+	if in.Timeout < 0 {
+		return m, fmt.Errorf("-timeout must be >= 0, got %v", in.Timeout)
+	}
 	parent := in.AB == "" && in.Shard == "" && in.Shards > 1
 	if !parent {
 		if in.Chaos != 0 {
@@ -82,6 +99,18 @@ func parseShardFlags(in shardFlagInputs) (shardMode, error) {
 		if in.Partial {
 			return m, fmt.Errorf("-partial degrades a supervised merge; it requires parent mode (-shards > 1)")
 		}
+		if in.Hosts != "" {
+			return m, fmt.Errorf("-hosts names a dispatch pool for supervised shards; it requires parent mode (-shards > 1)")
+		}
+		if in.Transport != "" {
+			return m, fmt.Errorf("-transport dispatches supervised shards; it requires parent mode (-shards > 1)")
+		}
+		if in.Timeout != 0 {
+			return m, fmt.Errorf("-timeout bounds a supervised sweep; it requires parent mode (-shards > 1)")
+		}
+	}
+	if in.Transport != "" && in.Hosts == "" {
+		return m, fmt.Errorf("-transport runs shards on the machines named by -hosts; -hosts is required")
 	}
 	if in.AB != "" {
 		parts := strings.Split(in.AB, ",")
@@ -119,6 +148,16 @@ func parseShardFlags(in shardFlagInputs) (shardMode, error) {
 		}
 		m.Shards = in.Shards
 		m.Checkpoint = in.Checkpoint
+		if in.Hosts != "" {
+			for _, h := range strings.Split(in.Hosts, ",") {
+				h = strings.TrimSpace(h)
+				if h == "" {
+					return m, fmt.Errorf("-hosts has an empty host name in %q", in.Hosts)
+				}
+				m.Hosts = append(m.Hosts, h)
+			}
+		}
+		m.Transport = in.Transport
 		m.Retries = in.Retries
 		if m.Retries == 0 {
 			m.Retries = 3
@@ -127,6 +166,7 @@ func parseShardFlags(in shardFlagInputs) (shardMode, error) {
 		if m.Stall == 0 {
 			m.Stall = 2 * time.Minute
 		}
+		m.Timeout = in.Timeout
 		m.Chaos = in.Chaos
 		m.Partial = in.Partial
 		m.Rescue = in.Rescue
@@ -221,12 +261,16 @@ func childWorkers(parallel, shard, shards int) int {
 
 // runShardParent runs a supervised multi-process sweep: stamp the
 // checkpoint directory, supervise one child per shard (liveness
-// tracking, classified retries with capped jittered backoff), salvage
-// and rescue what dead shards left behind, merge by global index and
-// print the standard scenario table. With -checkpoint the directory
-// persists, so a killed parent rerun resumes instead of recomputing.
-// With -chaos a seeded fault plan is injected into the children — the
-// merged output must not change. See DESIGN.md §14.
+// tracking, classified retries with capped jittered backoff, host
+// failover when a -hosts pool is given), salvage and rescue what dead
+// shards left behind, merge by global index and print the standard
+// scenario table. With -checkpoint the directory persists, so a killed
+// parent rerun resumes instead of recomputing. With -chaos a seeded
+// fault plan is injected into the children — the merged output must not
+// change. SIGINT/SIGTERM and -timeout cancel the sweep cleanly: every
+// child is terminated, the fsynced logs are merged, and the parent
+// exits through the partial-report path with the exact missing-index
+// list. See DESIGN.md §14–15.
 func runShardParent(scenarioFile string, mode shardMode, opt harness.Options, parallel int) {
 	specs, streaming, err := loadScenarioSpecs(scenarioFile, opt)
 	check(err)
@@ -238,26 +282,74 @@ func runShardParent(scenarioFile string, mode shardMode, opt harness.Options, pa
 	}
 	exe, err := os.Executable()
 	check(err)
+	var tr dispatch.Transport = dispatch.LocalExec{}
+	if mode.Transport != "" {
+		tr, err = dispatch.NewCmdTransport(mode.Transport)
+		check(err)
+	}
 	var plan fault.Plan
 	if mode.Chaos != 0 {
 		plan = fault.NewPlan(mode.Chaos, mode.Shards, mode.Retries, mode.Stall*3/2)
 		fmt.Fprintf(os.Stderr, "sproutbench: chaos seed %d: %s\n", mode.Chaos, plan)
 	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if mode.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, mode.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	// A signal cancels the sweep's context: every attempt's select sees
+	// Done, kills its child, and supervision falls through to the
+	// partial merge. The logs are fsynced per record, so nothing the
+	// children completed is lost to the termination.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		s, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "sproutbench: %v: terminating shard children, merging what completed\n", s)
+		cancel()
+	}()
+
 	start := time.Now()
-	sum, err := supervise(context.Background(), superviseConfig{
-		Exe:      exe,
-		Scenario: scenarioFile,
-		Specs:    specs,
-		Dir:      dir,
-		Shards:   mode.Shards,
-		Retries:  mode.Retries,
-		Stall:    mode.Stall,
-		Opt:      opt,
-		Parallel: parallel,
-		Plan:     plan,
-		Rescue:   mode.Rescue,
-		Log:      os.Stderr,
+	sum, err := supervise(ctx, superviseConfig{
+		Exe:       exe,
+		Scenario:  scenarioFile,
+		Specs:     specs,
+		Dir:       dir,
+		Shards:    mode.Shards,
+		Transport: tr,
+		Hosts:     mode.Hosts,
+		Retries:   mode.Retries,
+		Stall:     mode.Stall,
+		Opt:       opt,
+		Parallel:  parallel,
+		Plan:      plan,
+		Rescue:    mode.Rescue,
+		Log:       os.Stderr,
 	})
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		reason := "interrupted"
+		if errors.Is(err, context.DeadlineExceeded) {
+			reason = fmt.Sprintf("timed out after %v", mode.Timeout)
+		}
+		fmt.Fprintf(os.Stderr, "sproutbench: sweep %s; %d of %d jobs completed (resume with the same -checkpoint)\n",
+			reason, len(specs)-len(sum.Missing), len(specs))
+		if len(sum.Missing) > 0 {
+			fmt.Printf("partial: missing %d of %d jobs: %s\n", len(sum.Missing), len(specs), formatMissing(sum.Missing))
+		}
+		printScenarioResults(fmt.Sprintf("Scenarios from %s (%d shards, partial)", scenarioFile, mode.Shards), sum.Results)
+		if !mode.Partial && len(sum.Missing) > 0 {
+			fatalExit(1)
+		}
+		return
+	}
 	check(err)
 	retried, dead := 0, 0
 	for _, o := range sum.Outcomes {

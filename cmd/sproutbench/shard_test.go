@@ -24,6 +24,9 @@ func TestParseShardFlags(t *testing.T) {
 		{name: "parent", in: shardFlagInputs{Shards: 4, Scenario: "s.json"}, wantParent: true},
 		{name: "parent checkpointed", in: shardFlagInputs{Shards: 2, Scenario: "s.json", Checkpoint: "ck"}, wantParent: true},
 		{name: "parent chaos partial", in: shardFlagInputs{Shards: 2, Scenario: "s.json", Chaos: 7, Partial: true}, wantParent: true},
+		{name: "parent hosts", in: shardFlagInputs{Shards: 2, Scenario: "s.json", Hosts: "a,b"}, wantParent: true},
+		{name: "parent hosts transport", in: shardFlagInputs{Shards: 2, Scenario: "s.json", Hosts: "a,b", Transport: "ssh {host} -- {exe}"}, wantParent: true},
+		{name: "parent timeout", in: shardFlagInputs{Shards: 2, Scenario: "s.json", Timeout: time.Minute}, wantParent: true},
 		{name: "single shard is direct", in: shardFlagInputs{Shards: 1, Scenario: "s.json"}},
 		{name: "ab", in: shardFlagInputs{AB: "a.json,b.json"}, wantAB: true},
 		{name: "ab sharded", in: shardFlagInputs{AB: "a.json,b.json", Shards: 4}, wantAB: true},
@@ -39,6 +42,14 @@ func TestParseShardFlags(t *testing.T) {
 		{name: "chaos needs parent", in: shardFlagInputs{Scenario: "s.json", Chaos: 7}, wantErr: "parent mode"},
 		{name: "chaos in worker", in: shardFlagInputs{Shard: "0/2", Scenario: "s.json", Chaos: 7}, wantErr: "parent mode"},
 		{name: "partial needs parent", in: shardFlagInputs{Scenario: "s.json", Partial: true}, wantErr: "parent mode"},
+		{name: "hosts need parent", in: shardFlagInputs{Scenario: "s.json", Hosts: "a,b"}, wantErr: "parent mode"},
+		{name: "hosts in worker", in: shardFlagInputs{Shard: "0/2", Scenario: "s.json", Hosts: "a"}, wantErr: "parent mode"},
+		{name: "transport needs parent", in: shardFlagInputs{Scenario: "s.json", Transport: "ssh {host} {exe}"}, wantErr: "parent mode"},
+		{name: "timeout needs parent", in: shardFlagInputs{Scenario: "s.json", Timeout: time.Second}, wantErr: "parent mode"},
+		{name: "timeout in ab", in: shardFlagInputs{AB: "a.json,b.json", Shards: 2, Timeout: time.Second}, wantErr: "parent mode"},
+		{name: "transport needs hosts", in: shardFlagInputs{Shards: 2, Scenario: "s.json", Transport: "ssh {host} {exe}"}, wantErr: "-hosts is required"},
+		{name: "empty host name", in: shardFlagInputs{Shards: 2, Scenario: "s.json", Hosts: "a,,b"}, wantErr: "empty host"},
+		{name: "negative timeout", in: shardFlagInputs{Shards: 2, Scenario: "s.json", Timeout: -time.Second}, wantErr: "-timeout"},
 		{name: "chaos in ab", in: shardFlagInputs{AB: "a.json,b.json", Shards: 2, Chaos: 7}, wantErr: "parent mode"},
 		{name: "ab wants two files", in: shardFlagInputs{AB: "a.json"}, wantErr: "exactly two"},
 		{name: "ab three files", in: shardFlagInputs{AB: "a,b,c"}, wantErr: "exactly two"},
@@ -113,6 +124,28 @@ func TestParseShardFlagsParentDefaults(t *testing.T) {
 	}
 	if mode.Retries != 5 || mode.Stall != 7*time.Second {
 		t.Fatalf("explicit knobs not forwarded: %+v", mode)
+	}
+}
+
+// TestParseShardFlagsDispatchFields: the remote-dispatch knobs reach the
+// mode struct with host names trimmed of the whitespace a hand-typed
+// -hosts list accumulates.
+func TestParseShardFlagsDispatchFields(t *testing.T) {
+	mode, err := parseShardFlags(shardFlagInputs{
+		Shards: 2, Scenario: "s.json",
+		Hosts: " alpha , beta,gamma ", Transport: "ssh {host} -- {exe}", Timeout: 90 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(mode.Hosts, "|"), "alpha|beta|gamma"; got != want {
+		t.Fatalf("hosts = %q, want %q", got, want)
+	}
+	if mode.Transport != "ssh {host} -- {exe}" {
+		t.Fatalf("transport = %q", mode.Transport)
+	}
+	if mode.Timeout != 90*time.Second {
+		t.Fatalf("timeout = %v", mode.Timeout)
 	}
 }
 

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestShardParentInterruptPartial drives the real CLI: a supervised
+// sweep interrupted by SIGINT must terminate its children, merge what
+// their fsynced logs hold, print the exact missing-index report, and —
+// under -partial — exit 0. The test binary serves as the parent (and,
+// transitively, its children) through the TestMain reroute.
+func TestShardParentInterruptPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a supervised sweep and waits on signal delivery; skipped with -short")
+	}
+	// No duration in the file: the CLI's -duration sets it, and a long
+	// virtual duration keeps the sweep busy until the signal lands.
+	spec := `{
+	  "defaults": {"link": "Verizon LTE", "skip": "250ms", "seed": 7},
+	  "scenarios": [
+	    {"name": "cubic down", "scheme": "cubic"},
+	    {"name": "sprout down", "scheme": "sprout"},
+	    {"name": "cubic up", "scheme": "cubic", "direction": "up"},
+	    {"name": "vegas down", "scheme": "vegas"}
+	  ]
+	}`
+	scenarioPath := filepath.Join(t.TempDir(), "long.json")
+	if err := os.WriteFile(scenarioPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0],
+		"-scenario", scenarioPath, "-shards", "2", "-checkpoint", dir,
+		"-partial", "-duration", "600s", "-parallel", "1")
+	cmd.Env = append(os.Environ(), "SPROUTBENCH_CHILD=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the parent time to install its handler and launch children,
+	// then interrupt mid-sweep. 600 virtual seconds keep the children far
+	// from done this early.
+	time.Sleep(600 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("interrupted -partial sweep exited %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("parent never exited after SIGINT\nstderr:\n%s", stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("interrupted")) {
+		t.Fatalf("stderr does not report the interruption:\n%s", stderr.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("partial: missing")) {
+		t.Fatalf("stdout lacks the missing-index report:\nstdout:\n%s\nstderr:\n%s", stdout.String(), stderr.String())
+	}
+}

@@ -1,11 +1,17 @@
 // The shard supervisor: the parent half of a multi-process sweep,
-// rebuilt as a self-healing process manager. Each shard child is watched
-// through its checkpoint log (liveness = log growth), stalled children
-// are killed at a deadline, failures are classified transient/permanent
-// and retried with capped exponential backoff and deterministic jitter,
-// and jobs stranded by dead shards are recomputed in-process from the
-// merge's missing-index list — a pure function of the surviving records,
-// so recovery never changes the merged bytes. See DESIGN.md §14.
+// generalized over a dispatch.Transport so shards run as local children
+// or on a pool of remote hosts. Each shard is watched through its
+// checkpoint stream — the supervisor pulls the shard's log
+// incrementally by offset, mirrors it to locally-durable storage, and
+// treats record arrival as the liveness heartbeat — so one protocol
+// covers process death, stalls, network faults and whole-host loss.
+// Failures are classified transient/permanent and retried with capped
+// jittered backoff; a dead host triggers failover (the mirror is pushed
+// to a healthy host, whose worker resumes from it) without consuming
+// the shard's retry budget; and jobs stranded when every path is
+// exhausted are recomputed in-process from the merge's missing-index
+// list — a pure function of the surviving records, so recovery never
+// changes the merged bytes. See DESIGN.md §14–15.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"sprout/internal/dispatch"
 	"sprout/internal/engine"
 	"sprout/internal/fault"
 	"sprout/internal/harness"
@@ -61,71 +68,20 @@ func classifyCode(code int) failureClass {
 	}
 }
 
-// classify buckets a child-attempt error: exit statuses through
-// classifyCode, anything else (kill signals surface as code -1, start
-// failures, stall kills) as transient.
+// classify buckets a shard-attempt error: corruption the supervisor's
+// own pull detected is permanent (the remote bytes will not improve on
+// retry), exit statuses map through classifyCode, and anything else —
+// kill signals (code -1), start failures, stall kills, dropped pulls —
+// is transient.
 func classify(err error) failureClass {
+	if errors.Is(err, engine.ErrCorruptLog) || errors.Is(err, engine.ErrManifestMismatch) {
+		return classPermanent
+	}
 	var ee *exec.ExitError
 	if errors.As(err, &ee) {
 		return classifyCode(ee.ExitCode())
 	}
 	return classTransient
-}
-
-// backoff produces the retry delay schedule: exponential doubling from
-// base to cap, each delay jittered uniformly into [d/2, d] so a fleet of
-// failed shards does not retry in lockstep. The jitter stream is seeded
-// per shard (DeriveSeed of the sweep seed), making every schedule
-// reproducible — a chaos run's timing is as replayable as its faults.
-type backoff struct {
-	d, cap time.Duration
-	rng    *rand.Rand
-}
-
-func newBackoff(base, cap time.Duration, rng *rand.Rand) *backoff {
-	if base <= 0 {
-		base = 500 * time.Millisecond
-	}
-	if cap < base {
-		cap = base
-	}
-	return &backoff{d: base, cap: cap, rng: rng}
-}
-
-// next returns the jittered delay for the coming retry and advances the
-// schedule.
-func (b *backoff) next() time.Duration {
-	d := b.d
-	b.d *= 2
-	if b.d > b.cap {
-		b.d = b.cap
-	}
-	half := d / 2
-	return half + time.Duration(b.rng.Int63n(int64(half)+1))
-}
-
-// stallTracker detects a live-but-wedged child from its checkpoint log:
-// the log's size is the shard's heartbeat (every completed job appends a
-// record), so a log that stops growing for longer than the deadline
-// means the child is stalled even though the process is still running.
-type stallTracker struct {
-	deadline time.Duration
-	last     time.Time
-	size     int64
-}
-
-func newStallTracker(now time.Time, deadline time.Duration) *stallTracker {
-	return &stallTracker{deadline: deadline, last: now}
-}
-
-// observe feeds one liveness sample; it reports whether the stall
-// deadline has expired. Growth of any size resets the deadline — a slow
-// shard making progress is never killed, only a silent one.
-func (st *stallTracker) observe(now time.Time, size int64) bool {
-	if size > st.size {
-		st.size, st.last = size, now
-	}
-	return now.Sub(st.last) > st.deadline
 }
 
 // superviseConfig parameterizes one supervised multi-process sweep.
@@ -141,6 +97,11 @@ type superviseConfig struct {
 	// Dir is the checkpoint directory; Shards the decomposition width.
 	Dir    string
 	Shards int
+	// Transport launches workers and moves checkpoint bytes (nil =
+	// dispatch.LocalExec); Hosts is the dispatch pool (nil = one
+	// implicit "local" host).
+	Transport dispatch.Transport
+	Hosts     []string
 	// Retries bounds attempts per shard; Stall is the liveness deadline;
 	// Poll the liveness sampling interval.
 	Retries int
@@ -161,14 +122,21 @@ type superviseConfig struct {
 	Rescue bool
 	// Log receives supervision events (nil = silent).
 	Log io.Writer
+
+	// Runtime state supervise wires up from the fields above.
+	transport dispatch.Transport
+	pool      *dispatch.HostPool
 }
 
 // shardOutcome records how one shard's supervision ended.
 type shardOutcome struct {
 	Shard    int
 	Attempts int
-	// Dead: the shard did not complete (retries exhausted or permanent
-	// failure); its unfinished jobs need rescue.
+	// Failovers counts host-death reassignments — attempts lost to a
+	// dying host, which do not consume the retry budget.
+	Failovers int
+	// Dead: the shard did not complete (retries exhausted, permanent
+	// failure, or no live hosts); its unfinished jobs need rescue.
 	Dead bool
 	// Usage: the child rejected its flags — a supervisor bug, fatal.
 	Usage bool
@@ -179,7 +147,7 @@ type shardOutcome struct {
 type superviseSummary struct {
 	Results []scenario.Result
 	// Missing lists global job indexes absent from the merge (empty
-	// unless rescue is disabled or failed).
+	// unless rescue is disabled or failed, or the sweep was cancelled).
 	Missing  []int
 	Outcomes []shardOutcome
 	// Rescued counts jobs recomputed in-process; Quarantined counts
@@ -195,11 +163,14 @@ func (cfg *superviseConfig) logf(format string, args ...any) {
 }
 
 // supervise runs the sweep: stamp the checkpoint identity, run every
-// shard under the retry/stall state machine, salvage dead shards' logs,
-// merge, rescue what is missing, and re-merge. The merged bytes are
-// byte-identical to a fault-free run whenever the grid ends complete —
-// records are pure functions of (index, spec), resume never recomputes a
-// completed job, and the merge orders by global index alone.
+// shard under the retry/failover state machine, salvage dead shards'
+// logs, merge, rescue what is missing, and re-merge. The merged bytes
+// are byte-identical to a fault-free run whenever the grid ends
+// complete — records are pure functions of (index, spec), resume never
+// recomputes a completed job, and the merge orders by global index
+// alone. A cancelled context (signal, -timeout) still salvages and
+// merges what completed — the partial report the caller prints — but
+// skips rescue and returns the context's error alongside the summary.
 func supervise(ctx context.Context, cfg superviseConfig) (superviseSummary, error) {
 	n := cfg.Shards
 	if n < 1 {
@@ -214,6 +185,20 @@ func supervise(ctx context.Context, cfg superviseConfig) (superviseSummary, erro
 	if cfg.Poll <= 0 {
 		cfg.Poll = 250 * time.Millisecond
 	}
+	cfg.transport = cfg.Transport
+	if cfg.transport == nil {
+		cfg.transport = dispatch.LocalExec{}
+	}
+	hosts := cfg.Hosts
+	if len(hosts) == 0 {
+		hosts = []string{"local"}
+	}
+	cfg.Hosts = hosts
+	pool, err := dispatch.NewHostPool(hosts)
+	if err != nil {
+		return superviseSummary{}, err
+	}
+	cfg.pool = pool
 	if err := engine.EnsureManifest(cfg.Dir, engine.Manifest{
 		Fingerprint: scenario.Fingerprint(cfg.Specs, n), Shards: n, Jobs: len(cfg.Specs),
 	}); err != nil {
@@ -231,20 +216,20 @@ func supervise(ctx context.Context, cfg superviseConfig) (superviseSummary, erro
 		}()
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return sum, err
-	}
-	for _, o := range sum.Outcomes {
-		if o.Usage {
-			return sum, o.Err
+	cancelled := ctx.Err() != nil
+	if !cancelled {
+		for _, o := range sum.Outcomes {
+			if o.Usage {
+				return sum, o.Err
+			}
 		}
 	}
 
-	// Salvage: a dead shard's log may end in a torn or corrupt tail.
-	// Quarantining rewrites it down to the valid record prefix, so the
-	// merge below reads every survivable record.
+	// Salvage: a dead (or interrupted) shard's log may end in a torn or
+	// corrupt tail. Quarantining rewrites it down to the valid record
+	// prefix, so the merge below reads every survivable record.
 	for _, o := range sum.Outcomes {
-		if !o.Dead {
+		if !o.Dead && !cancelled {
 			continue
 		}
 		path := engine.ShardLogPath(cfg.Dir, o.Shard)
@@ -269,7 +254,7 @@ func supervise(ctx context.Context, cfg superviseConfig) (superviseSummary, erro
 		return sum, err
 	}
 
-	if len(missing) > 0 && cfg.Rescue {
+	if len(missing) > 0 && cfg.Rescue && !cancelled {
 		if err := cfg.runRescue(ctx, missing); err != nil {
 			return sum, err
 		}
@@ -284,6 +269,9 @@ func supervise(ctx context.Context, cfg superviseConfig) (superviseSummary, erro
 		}
 	}
 	sum.Results, sum.Missing = results, missing
+	if cancelled {
+		return sum, ctx.Err()
+	}
 	return sum, nil
 }
 
@@ -304,21 +292,54 @@ func (cfg *superviseConfig) runRescue(ctx context.Context, missing []int) error 
 }
 
 // superviseShard drives one shard through the attempt state machine:
-// launch, watch, classify, back off, retry — and declare it dead when a
-// permanent failure appears or the retry budget runs out.
+// acquire a host, launch, watch the pulled checkpoint stream, classify,
+// back off, retry. A host that dies mid-attempt costs a failover, not a
+// retry — the shard's budget measures the shard's own health, and host
+// loss is a placement problem the pool absorbs (bounded by the pool
+// size, since each failover needs a host that has not already died).
+// The shard is declared dead when a permanent failure appears, the
+// retry budget runs out, or no live hosts remain.
 func (cfg *superviseConfig) superviseShard(ctx context.Context, shard int) shardOutcome {
 	o := shardOutcome{Shard: shard}
-	logPath := engine.ShardLogPath(cfg.Dir, shard)
-	bo := newBackoff(cfg.BackoffBase, cfg.BackoffCap,
+	bo := dispatch.NewBackoff(cfg.BackoffBase, cfg.BackoffCap,
 		rand.New(rand.NewSource(engine.DeriveSeed(cfg.Opt.Seed, "backoff", strconv.Itoa(shard)))))
-	for attempt := 1; attempt <= cfg.Retries; attempt++ {
-		o.Attempts = attempt
-		err := cfg.runAttempt(ctx, shard, attempt, logPath)
-		if err == nil {
-			o.Err = nil
+	for o.Attempts < cfg.Retries {
+		if ctx.Err() != nil {
 			return o
 		}
-		o.Err = fmt.Errorf("shard %d/%d attempt %d/%d: %w", shard, cfg.Shards, attempt, cfg.Retries, err)
+		host, ok := cfg.pool.Acquire()
+		if !ok {
+			o.Dead = true
+			if o.Err == nil {
+				o.Err = fmt.Errorf("shard %d/%d: every host in the pool is dead", shard, cfg.Shards)
+			}
+			cfg.logf("sproutbench: shard %d: no live hosts left (pool %v), shard dead", shard, cfg.pool)
+			return o
+		}
+		attempt := o.Attempts + 1
+		err := cfg.runAttempt(ctx, shard, attempt, host)
+		cfg.pool.Release(host)
+		if err == nil {
+			o.Attempts, o.Err = attempt, nil
+			return o
+		}
+		if ctx.Err() != nil {
+			o.Err = err
+			return o
+		}
+		if errors.Is(err, dispatch.ErrHostDown) {
+			o.Failovers++
+			o.Err = fmt.Errorf("shard %d/%d on host %s: %w", shard, cfg.Shards, host, err)
+			if o.Failovers > len(cfg.Hosts) {
+				o.Dead = true
+				cfg.logf("sproutbench: %v: failover budget exhausted, shard dead", o.Err)
+				return o
+			}
+			cfg.logf("sproutbench: %v: failing over (pool %v)", o.Err, cfg.pool)
+			continue
+		}
+		o.Attempts = attempt
+		o.Err = fmt.Errorf("shard %d/%d attempt %d/%d on host %s: %w", shard, cfg.Shards, attempt, cfg.Retries, host, err)
 		switch classify(err) {
 		case classUsage:
 			o.Usage, o.Dead = true, true
@@ -328,8 +349,8 @@ func (cfg *superviseConfig) superviseShard(ctx context.Context, shard int) shard
 			cfg.logf("sproutbench: %v: permanent, not retrying", o.Err)
 			return o
 		}
-		if attempt < cfg.Retries {
-			delay := bo.next()
+		if o.Attempts < cfg.Retries {
+			delay := bo.Next()
 			cfg.logf("sproutbench: %v: retrying in %v", o.Err, delay.Round(time.Millisecond))
 			select {
 			case <-time.After(delay):
@@ -343,21 +364,46 @@ func (cfg *superviseConfig) superviseShard(ctx context.Context, shard int) shard
 	return o
 }
 
-// runAttempt launches one child and supervises it to exit: the
-// checkpoint log is polled for growth, and a child whose log stops
-// growing past the stall deadline is killed (the kill is classified
-// transient — the next attempt resumes from the log it left).
-func (cfg *superviseConfig) runAttempt(ctx context.Context, shard, attempt int, logPath string) error {
+// runAttempt runs one shard attempt on host and supervises it to exit
+// through the uniform pull protocol: push the locally-durable mirror to
+// the host (so the worker resumes past everything already safe), start
+// the worker, and poll the remote log by offset — absorbing records
+// into the mirror, scoring host health from pull outcomes, and treating
+// record arrival as liveness. A worker whose stream stops growing past
+// the stall deadline is killed (transient — the next attempt resumes
+// from the mirror); a host whose health decays to zero mid-attempt
+// yields ErrHostDown (failover); a terminated malformed line in the
+// stream is permanent corruption.
+func (cfg *superviseConfig) runAttempt(ctx context.Context, shard, attempt int, host string) error {
 	sh := engine.Shard{Index: shard, Count: cfg.Shards}
-	cmd := exec.Command(cfg.Exe,
-		"-scenario", cfg.Scenario,
-		"-shard", sh.String(),
-		"-out", logPath,
-		"-duration", cfg.Opt.Duration.String(),
-		"-skip", cfg.Opt.Skip.String(),
-		"-seed", fmt.Sprint(cfg.Opt.Seed),
-		"-parallel", fmt.Sprint(childWorkers(cfg.Parallel, shard, cfg.Shards)),
-	)
+	tr := cfg.transport
+	localPath := engine.ShardLogPath(cfg.Dir, shard)
+	remotePath := tr.ShardLogPath(host, cfg.Dir, shard)
+
+	// On a mirrored transport the supervisor's copy is authoritative:
+	// seed the host with it before launch, then pull from just past it.
+	// On LocalExec the worker writes localPath itself and the "pull" is
+	// a local read — same protocol, trivial transport.
+	var mirror *dispatch.ShardMirror
+	var offset int64
+	if tr.Mirrored() {
+		m, err := dispatch.OpenShardMirror(localPath)
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		mirror = m
+		data, err := m.Bytes()
+		if err != nil {
+			return err
+		}
+		if err := tr.Push(ctx, host, remotePath, data); err != nil {
+			cfg.pool.StartError(host)
+			return fmt.Errorf("push checkpoint to %s: %w", host, err)
+		}
+		offset = int64(len(data))
+	}
+
 	// The fault variable is always set — cleared when no fault is
 	// planned — so a supervised child can never inherit stray chaos from
 	// the parent's own environment.
@@ -366,37 +412,95 @@ func (cfg *superviseConfig) runAttempt(ctx context.Context, shard, attempt int, 
 		injected = f.String()
 		cfg.logf("sproutbench: chaos: shard %d attempt %d runs with %s", shard, attempt, injected)
 	}
-	cmd.Env = append(append(os.Environ(), cfg.ExtraEnv...), fault.EnvVar+"="+injected)
-	cmd.Stderr = cfg.Log
-	if err := cmd.Start(); err != nil {
-		return err
+	env := append(append([]string{}, cfg.ExtraEnv...), fault.EnvVar+"="+injected)
+	argv := dispatch.WorkerArgv(cfg.Exe, cfg.Scenario, sh, remotePath,
+		cfg.Opt.Duration.String(), cfg.Opt.Skip.String(), cfg.Opt.Seed,
+		childWorkers(cfg.Parallel, shard, cfg.Shards))
+	proc, err := tr.Start(ctx, host, argv, env, cfg.Log)
+	if err != nil {
+		cfg.pool.StartError(host)
+		return fmt.Errorf("start on %s: %w", host, err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
+	go func() { done <- proc.Wait() }()
 
-	st := newStallTracker(time.Now(), cfg.Stall)
+	ps := dispatch.NewPullState(tr, host, remotePath, mirror, offset)
+	prog := dispatch.NewProgress(time.Now(), cfg.Stall)
 	ticker := time.NewTicker(cfg.Poll)
 	defer ticker.Stop()
 	for {
 		select {
-		case err := <-done:
-			return err
+		case werr := <-done:
+			return cfg.drainAttempt(ctx, ps, host, werr)
 		case now := <-ticker.C:
-			var size int64
-			if fi, err := os.Stat(logPath); err == nil {
-				size = fi.Size()
+			grew, perr := ps.Poll(ctx)
+			switch {
+			case perr == nil:
+				cfg.pool.PullOK(host)
+			case errors.Is(perr, engine.ErrCorruptLog):
+				proc.Kill()
+				<-done
+				return perr
+			default:
+				cfg.pool.PullError(host)
+				if cfg.pool.Dead(host) {
+					proc.Kill()
+					<-done
+					return fmt.Errorf("%w: %s stopped answering pulls (%v)", dispatch.ErrHostDown, host, perr)
+				}
 			}
-			if st.observe(now, size) {
-				cmd.Process.Kill()
+			if prog.Observe(now, grew) {
+				proc.Kill()
 				werr := <-done
-				return fmt.Errorf("stalled (no checkpoint growth in %v), killed: %v", cfg.Stall, werr)
+				return fmt.Errorf("stalled (no checkpoint growth in %v) on %s, killed: %v", cfg.Stall, host, werr)
 			}
 		case <-ctx.Done():
-			cmd.Process.Kill()
+			proc.Kill()
 			<-done
 			return ctx.Err()
 		}
 	}
+}
+
+// drainAttempt finishes an attempt after its worker exited: pull the
+// stream to EOF so every record the worker flushed is locally durable
+// before the attempt is judged. Pulls can still misbehave here (a
+// dropped or truncated final pull), so the drain runs until the stream
+// is clean-dry twice in a row. For a failed worker the drain is
+// best-effort salvage — the worker's own error is the verdict — except
+// that corruption found in the stream upgrades the verdict to permanent.
+func (cfg *superviseConfig) drainAttempt(ctx context.Context, ps *dispatch.PullState, host string, werr error) error {
+	dry := 0
+	for tries := 0; dry < 2 && tries < 20; tries++ {
+		grew, perr := ps.Poll(ctx)
+		if perr != nil {
+			if errors.Is(perr, engine.ErrCorruptLog) {
+				return perr
+			}
+			cfg.pool.PullError(host)
+			if werr != nil {
+				return werr
+			}
+			if cfg.pool.Dead(host) {
+				return fmt.Errorf("%w: %s stopped answering pulls (%v)", dispatch.ErrHostDown, host, perr)
+			}
+			dry = 0
+			continue
+		}
+		cfg.pool.PullOK(host)
+		if grew {
+			dry = 0
+		} else {
+			dry++
+		}
+	}
+	if werr != nil {
+		return werr
+	}
+	if dry < 2 {
+		return fmt.Errorf("completed on %s but the checkpoint drain never ran dry", host)
+	}
+	return nil
 }
 
 // formatMissing renders a missing-index report in full — the -partial

@@ -2,104 +2,13 @@ package main
 
 import (
 	"errors"
-	"math/rand"
+	"fmt"
 	"os/exec"
-	"reflect"
 	"testing"
-	"time"
 
 	"sprout/internal/engine"
 	"sprout/internal/fault"
 )
-
-// TestBackoffSchedule: delays double from base to cap, and every delay
-// lands in [d/2, d] — jitter spreads retries without shortening the
-// floor below half the nominal delay.
-func TestBackoffSchedule(t *testing.T) {
-	base, cap := 100*time.Millisecond, 800*time.Millisecond
-	b := newBackoff(base, cap, rand.New(rand.NewSource(1)))
-	nominal := []time.Duration{
-		100 * time.Millisecond,
-		200 * time.Millisecond,
-		400 * time.Millisecond,
-		800 * time.Millisecond,
-		800 * time.Millisecond, // capped
-		800 * time.Millisecond,
-	}
-	for i, want := range nominal {
-		got := b.next()
-		if got < want/2 || got > want {
-			t.Fatalf("delay %d = %v, want within [%v, %v]", i, got, want/2, want)
-		}
-	}
-}
-
-// TestBackoffJitterDeterministic: the same seed yields the same delay
-// sequence (replayable chaos timing); different seeds diverge.
-func TestBackoffJitterDeterministic(t *testing.T) {
-	seq := func(seed int64) []time.Duration {
-		b := newBackoff(time.Second, 8*time.Second,
-			rand.New(rand.NewSource(engine.DeriveSeed(seed, "backoff", "0"))))
-		out := make([]time.Duration, 6)
-		for i := range out {
-			out[i] = b.next()
-		}
-		return out
-	}
-	if !reflect.DeepEqual(seq(42), seq(42)) {
-		t.Fatal("same seed produced different backoff schedules")
-	}
-	if reflect.DeepEqual(seq(1), seq(2)) {
-		t.Fatal("different seeds produced identical schedules; jitter is not seed-driven")
-	}
-}
-
-func TestBackoffDegenerateBounds(t *testing.T) {
-	// Zero base falls back to the default; cap below base clamps up.
-	b := newBackoff(0, 0, rand.New(rand.NewSource(1)))
-	if d := b.next(); d <= 0 {
-		t.Fatalf("degenerate backoff returned %v", d)
-	}
-}
-
-// TestStallTracker drives the liveness state machine with a fake clock:
-// growth resets the deadline, silence past the deadline trips it.
-func TestStallTracker(t *testing.T) {
-	t0 := time.Unix(1000, 0)
-	st := newStallTracker(t0, 10*time.Second)
-
-	// Growing log: never stalled, even over a long run.
-	for i := 1; i <= 100; i++ {
-		if st.observe(t0.Add(time.Duration(i)*time.Second), int64(i)) {
-			t.Fatalf("stalled at t+%ds despite growth", i)
-		}
-	}
-	// Size frozen: stalled only once the deadline passes.
-	base := t0.Add(100 * time.Second)
-	if st.observe(base.Add(10*time.Second), 100) {
-		t.Fatal("stalled exactly at the deadline; must be strictly past it")
-	}
-	if !st.observe(base.Add(11*time.Second), 100) {
-		t.Fatal("not stalled past the deadline")
-	}
-	// Growth after near-stall resets the clock.
-	st2 := newStallTracker(t0, 10*time.Second)
-	st2.observe(t0.Add(9*time.Second), 0)
-	st2.observe(t0.Add(10*time.Second), 5) // growth at the wire
-	if st2.observe(t0.Add(19*time.Second), 5) {
-		t.Fatal("stalled 9s after growth with a 10s deadline")
-	}
-	if !st2.observe(t0.Add(21*time.Second), 5) {
-		t.Fatal("not stalled 11s after the last growth")
-	}
-	// A shrinking size (log quarantined/truncated underneath) does not
-	// count as growth.
-	st3 := newStallTracker(t0, time.Second)
-	st3.observe(t0, 100)
-	if !st3.observe(t0.Add(2*time.Second), 50) {
-		t.Fatal("shrink treated as liveness")
-	}
-}
 
 // TestClassifyCode pins the transient/permanent contract: the two
 // contractual codes are terminal, everything else — including the fault
@@ -127,11 +36,17 @@ func TestClassifyCode(t *testing.T) {
 }
 
 // TestClassify: non-exit errors (stall kills, start failures, context
-// cancellation) are transient; real exit statuses route through the
-// code table.
+// cancellation) are transient, corruption the supervisor's own pull
+// detected is permanent, and real exit statuses route through the code
+// table.
 func TestClassify(t *testing.T) {
 	if got := classify(errors.New("stalled, killed")); got != classTransient {
 		t.Fatalf("plain error classified %v, want transient", got)
+	}
+	// Corruption surfaced by the pull protocol, wrapped however deep.
+	werr := fmt.Errorf("drain shard 1: %w", fmt.Errorf("parse: %w", engine.ErrCorruptLog))
+	if got := classify(werr); got != classPermanent {
+		t.Fatalf("wrapped ErrCorruptLog classified %v, want permanent", got)
 	}
 	// A real child exiting with the permanent code.
 	err := exec.Command("/bin/sh", "-c", "exit 3").Run()

@@ -1,0 +1,105 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"sprout/internal/fault"
+)
+
+// WithNetFaults wraps a transport with a deterministic network chaos
+// plan: each host's pull stream is gated by its fault.NetInjector, and
+// each scheduled fault is executed as the network shape it names —
+// dropped pulls, delayed pulls, mid-record truncation, stale-offset
+// replays, and whole-host death (executed through kill, typically
+// Loopback.KillHost). Start and Push pass through untouched: the pull
+// stream is the supervision data path, so it is where network chaos
+// bites; host death covers the rest.
+//
+// Fault execution preserves the Transport contract — PartialPull still
+// reports an honest from, DupRecords rewinds only to a record boundary
+// (a stale offset is always a boundary the puller once held) — so a
+// correct puller survives every plan by construction and a buggy one
+// fails deterministically.
+func WithNetFaults(inner Transport, plan fault.NetPlan, kill func(host string)) Transport {
+	t := &netFaultTransport{inner: inner, kill: kill,
+		gates: map[string]*fault.NetInjector{}, sleep: time.Sleep}
+	for host, fs := range plan {
+		t.gates[host] = fault.NewNetInjector(fs)
+	}
+	return t
+}
+
+type netFaultTransport struct {
+	inner Transport
+	gates map[string]*fault.NetInjector
+	kill  func(host string)
+	sleep func(time.Duration)
+}
+
+func (t *netFaultTransport) String() string { return t.inner.String() + "+netchaos" }
+
+func (t *netFaultTransport) Mirrored() bool { return t.inner.Mirrored() }
+
+func (t *netFaultTransport) ShardLogPath(host, dir string, shard int) string {
+	return t.inner.ShardLogPath(host, dir, shard)
+}
+
+func (t *netFaultTransport) Start(ctx context.Context, host string, argv, env []string, stderr io.Writer) (Proc, error) {
+	return t.inner.Start(ctx, host, argv, env, stderr)
+}
+
+func (t *netFaultTransport) Push(ctx context.Context, host, path string, data []byte) error {
+	return t.inner.Push(ctx, host, path, data)
+}
+
+func (t *netFaultTransport) Pull(ctx context.Context, host, path string, offset int64) ([]byte, int64, error) {
+	f, ok := t.gates[host].Next()
+	if !ok {
+		return t.inner.Pull(ctx, host, path, offset)
+	}
+	switch f.Kind {
+	case fault.ConnDrop:
+		return nil, 0, fmt.Errorf("dispatch: injected conndrop on %s", host)
+	case fault.SlowStream:
+		t.sleep(f.For)
+		return t.inner.Pull(ctx, host, path, offset)
+	case fault.PartialPull:
+		data, from, err := t.inner.Pull(ctx, host, path, offset)
+		if err != nil {
+			return nil, 0, err
+		}
+		if int64(len(data)) > int64(f.Bytes) {
+			data = data[:f.Bytes]
+		}
+		return data, from, nil
+	case fault.DupRecords:
+		// A stale-offset retry: re-serve from an earlier record boundary.
+		// Pull the whole stream, rewind ~Bytes back from the caller's
+		// offset, then snap to the byte after the previous newline so the
+		// replay starts on a boundary a real stale puller would have held.
+		data, _, err := t.inner.Pull(ctx, host, path, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := offset - int64(f.Bytes)
+		if start < 0 {
+			start = 0
+		}
+		if start > int64(len(data)) {
+			start = int64(len(data))
+		}
+		for start > 0 && data[start-1] != '\n' {
+			start--
+		}
+		return data[start:], start, nil
+	case fault.HostDown:
+		if t.kill != nil {
+			t.kill(host)
+		}
+		return nil, 0, fmt.Errorf("%w: injected hostdown on %s", ErrHostDown, host)
+	}
+	return t.inner.Pull(ctx, host, path, offset)
+}

@@ -33,10 +33,18 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 )
+
+// ErrManifestMismatch marks a checkpoint directory recorded for a
+// different sweep: the manifest parsed cleanly but names another
+// fingerprint, shard count or job count. Like ErrCorruptLog it is
+// permanent — no retry reconciles two identities — so supervisors test
+// for it with errors.Is and fail fast instead of burning attempts.
+var ErrManifestMismatch = errors.New("checkpoint manifest mismatch")
 
 // Manifest pins a checkpointed sweep's identity.
 type Manifest struct {
@@ -73,7 +81,9 @@ func LoadManifest(dir string) (Manifest, error) {
 	}
 	var m Manifest
 	if err := json.Unmarshal(raw, &m); err != nil {
-		return Manifest{}, fmt.Errorf("engine: corrupt checkpoint manifest in %s: %w", dir, err)
+		// Wraps ErrCorruptLog: an unparseable manifest is permanent
+		// checkpoint damage, classified exactly like a corrupt shard log.
+		return Manifest{}, fmt.Errorf("engine: corrupt checkpoint manifest in %s: %v (%w)", dir, err, ErrCorruptLog)
 	}
 	return m, nil
 }
@@ -121,8 +131,8 @@ func EnsureManifest(dir string, want Manifest) error {
 		return err
 	}
 	if have != want {
-		return fmt.Errorf("engine: checkpoint %s belongs to a different sweep (recorded %d jobs across %d shards, fingerprint %.12s; resuming %d jobs across %d shards, fingerprint %.12s)",
-			dir, have.Jobs, have.Shards, have.Fingerprint, want.Jobs, want.Shards, want.Fingerprint)
+		return fmt.Errorf("engine: %w: %s belongs to a different sweep (recorded %d jobs across %d shards, fingerprint %.12s; resuming %d jobs across %d shards, fingerprint %.12s)",
+			ErrManifestMismatch, dir, have.Jobs, have.Shards, have.Fingerprint, want.Jobs, want.Shards, want.Fingerprint)
 	}
 	return nil
 }

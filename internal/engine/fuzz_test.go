@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -92,4 +95,76 @@ func jsonEqual(a, b json.RawMessage) bool {
 		return bytes.Equal(a, b)
 	}
 	return bytes.Equal(ca.Bytes(), cb.Bytes())
+}
+
+// FuzzManifest drives the checkpoint manifest reader and identity check
+// with arbitrary bytes — truncated JSON, duplicated keys, mismatched
+// fingerprints, binary garbage — and checks the contract supervisors
+// build on:
+//
+//   - no panic, whatever the file holds;
+//   - an unparseable manifest errors wrapping ErrCorruptLog (permanent —
+//     the same classification a corrupt shard log gets);
+//   - a parseable manifest that names a different identity makes
+//     EnsureManifest fail wrapping ErrManifestMismatch (also permanent),
+//     while a matching identity resumes cleanly;
+//   - a manifest written by Manifest.Write always round-trips.
+func FuzzManifest(f *testing.F) {
+	f.Add([]byte(`{"fingerprint":"abc","shards":2,"jobs":6}`), "abc", 2, 6)
+	f.Add([]byte(`{"fingerprint":"abc","shards":2,"jobs":6}`), "other", 2, 6)             // mismatched fingerprint
+	f.Add([]byte(`{"fingerprint":"abc","shards":2,`), "abc", 2, 6)                        // truncated
+	f.Add([]byte(`{"fingerprint":"a","fingerprint":"b","shards":1,"jobs":1}`), "b", 1, 1) // duplicated key
+	f.Add([]byte(`{}`), "", 0, 0)
+	f.Add([]byte("\x00\x01"), "x", 1, 1)
+	f.Add([]byte(`[1,2,3]`), "x", 1, 1)
+
+	f.Fuzz(func(t *testing.T, raw []byte, fp string, shards, jobs int) {
+		// encoding/json rewrites invalid UTF-8 to replacement runes on
+		// marshal; real fingerprints are hex, so pin the fuzzed one to
+		// valid UTF-8 rather than asserting through that rewrite.
+		fp = strings.ToValidUTF8(fp, "")
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, manifestName), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		have, lerr := LoadManifest(dir)
+		if lerr != nil && !errors.Is(lerr, ErrCorruptLog) {
+			t.Fatalf("LoadManifest error does not wrap ErrCorruptLog: %v", lerr)
+		}
+
+		want := Manifest{Fingerprint: fp, Shards: shards, Jobs: jobs}
+		eerr := EnsureManifest(dir, want)
+		switch {
+		case lerr != nil:
+			// Unreadable manifest: EnsureManifest must refuse, permanently.
+			if !errors.Is(eerr, ErrCorruptLog) {
+				t.Fatalf("EnsureManifest over a corrupt manifest = %v, want ErrCorruptLog", eerr)
+			}
+		case have != want:
+			if !errors.Is(eerr, ErrManifestMismatch) {
+				t.Fatalf("EnsureManifest with mismatched identity = %v, want ErrManifestMismatch", eerr)
+			}
+		default:
+			if eerr != nil {
+				t.Fatalf("EnsureManifest with matching identity failed: %v", eerr)
+			}
+		}
+
+		// A manifest this code wrote always loads back identically, and a
+		// matching resume against it succeeds.
+		fresh := t.TempDir()
+		if err := EnsureManifest(fresh, want); err != nil {
+			t.Fatalf("EnsureManifest on a fresh dir: %v", err)
+		}
+		got, err := LoadManifest(fresh)
+		if err != nil || got != want {
+			t.Fatalf("round trip = (%+v, %v), want %+v", got, err, want)
+		}
+		if err := EnsureManifest(fresh, want); err != nil {
+			t.Fatalf("matching resume refused: %v", err)
+		}
+		if err := EnsureManifest(fresh, Manifest{Fingerprint: fp + "x", Shards: shards, Jobs: jobs}); !errors.Is(err, ErrManifestMismatch) {
+			t.Fatalf("mismatched resume = %v, want ErrManifestMismatch", err)
+		}
+	})
 }

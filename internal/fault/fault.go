@@ -58,6 +58,33 @@ const (
 	Slow Kind = "slow"
 )
 
+// Network-shaped kinds: faults on the supervisor's side of a remote
+// dispatch — the offset-based pull stream that mirrors a remote shard's
+// checkpoint log. They are executed by a NetInjector wrapped around a
+// transport's Pull, not by the shard child, so After counts pulls, not
+// records. See internal/dispatch.
+const (
+	// ConnDrop fails pull number After outright — a dropped connection
+	// the puller must retry, and the host-health scoring must not treat a
+	// single drop as a dead host.
+	ConnDrop Kind = "conndrop"
+	// SlowStream delays pull number After by For before serving it — a
+	// congested link, not a dead one.
+	SlowStream Kind = "slowstream"
+	// PartialPull truncates pull number After to Bytes bytes, typically
+	// cutting mid-record — the torn chunk a dropped stream leaves. The
+	// puller must hold the fragment back and re-pull it, never mirror it.
+	PartialPull Kind = "partialpull"
+	// DupRecords rewinds pull number After by Bytes bytes, re-streaming
+	// records the puller already has — what a retried pull that restarts
+	// from a stale offset produces. The mirror must deduplicate by index.
+	DupRecords Kind = "duprecords"
+	// HostDown kills the host at pull number After: every process on it
+	// dies and every later transport operation against it fails. The
+	// supervisor must fail the host's shards over to surviving hosts.
+	HostDown Kind = "hostdown"
+)
+
 // Exit codes the injector uses for its abrupt terminations. They carry no
 // contract — the supervisor classifies them like any other unexpected
 // exit (transient) — but distinct values make chaos logs readable.
@@ -106,6 +133,16 @@ func (f Fault) String() string {
 		return fmt.Sprintf("exit:after=%d,code=%d", f.After, f.Code)
 	case Slow:
 		return fmt.Sprintf("slow:for=%s", f.For)
+	case ConnDrop:
+		return fmt.Sprintf("conndrop:after=%d", f.After)
+	case SlowStream:
+		return fmt.Sprintf("slowstream:after=%d,for=%s", f.After, f.For)
+	case PartialPull:
+		return fmt.Sprintf("partialpull:after=%d,bytes=%d", f.After, f.Bytes)
+	case DupRecords:
+		return fmt.Sprintf("duprecords:after=%d,bytes=%d", f.After, f.Bytes)
+	case HostDown:
+		return fmt.Sprintf("hostdown:after=%d", f.After)
 	}
 	return ""
 }
@@ -119,7 +156,8 @@ func Parse(s string) (Fault, error) {
 	kindStr, rest, _ := strings.Cut(s, ":")
 	f := Fault{Kind: Kind(kindStr), Code: 1}
 	switch f.Kind {
-	case Crash, Stall, Torn, Corrupt, Exit, Slow:
+	case Crash, Stall, Torn, Corrupt, Exit, Slow,
+		ConnDrop, SlowStream, PartialPull, DupRecords, HostDown:
 	default:
 		return Fault{}, fmt.Errorf("fault: unknown kind in %q", s)
 	}
@@ -151,13 +189,17 @@ func Parse(s string) (Fault, error) {
 		return Fault{}, fmt.Errorf("fault: negative parameter in %q", s)
 	}
 	switch f.Kind {
-	case Stall, Slow:
+	case Stall, Slow, SlowStream:
 		if f.For == 0 {
 			return Fault{}, fmt.Errorf("fault: %s needs for=<duration> in %q", f.Kind, s)
 		}
-	case Torn:
+	case Torn, PartialPull:
 		if f.Bytes == 0 {
 			f.Bytes = 1
+		}
+	case DupRecords:
+		if f.Bytes == 0 {
+			f.Bytes = 64
 		}
 	case Exit:
 		if f.Code == 0 {

@@ -1,0 +1,181 @@
+// Network-shaped fault execution: the supervisor side of remote shard
+// dispatch. Where fault.Injector lives inside a shard child and fires at
+// record boundaries of its log, NetInjector lives inside the parent's
+// transport and fires at pull boundaries of the checkpoint stream it is
+// mirroring — connection drops, slow streams, partial chunks, duplicated
+// replays, whole hosts dying. The dispatch layer wraps a Transport with
+// one NetInjector per host (dispatch.WithNetFaults) and executes each
+// fault against the pull it gates.
+package fault
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sprout/internal/engine"
+)
+
+// NetInjector gates one host's pull stream with a fault sequence. Faults
+// are consumed in order: each fires on the pull whose 0-based sequence
+// number reaches its After, so a sequence {conndrop:after=0,
+// duprecords:after=3} drops the first pull and rewinds the fourth.
+// A nil NetInjector gates nothing; every method is a no-op on it.
+type NetInjector struct {
+	mu     sync.Mutex
+	faults []Fault
+	idx    int
+	pulls  int
+}
+
+// NewNetInjector builds the gate for one host's fault sequence, which
+// must be ordered by ascending After (NetPlan generation sorts). Returns
+// nil for an empty sequence.
+func NewNetInjector(fs []Fault) *NetInjector {
+	if len(fs) == 0 {
+		return nil
+	}
+	return &NetInjector{faults: fs}
+}
+
+// Next advances the pull counter and reports the fault gating this pull,
+// if the sequence schedules one.
+func (ni *NetInjector) Next() (Fault, bool) {
+	if ni == nil {
+		return Fault{}, false
+	}
+	ni.mu.Lock()
+	defer ni.mu.Unlock()
+	pull := ni.pulls
+	ni.pulls++
+	if ni.idx < len(ni.faults) && pull >= ni.faults[ni.idx].After {
+		f := ni.faults[ni.idx]
+		ni.idx++
+		return f, true
+	}
+	return Fault{}, false
+}
+
+// NetPlan maps host name → the ordered fault sequence gating that host's
+// pull stream. A nil plan injects nothing.
+type NetPlan map[string][]Fault
+
+// For returns host's fault sequence, if the plan schedules one.
+func (p NetPlan) For(host string) []Fault { return p[host] }
+
+// Kinds returns the distinct fault kinds the plan draws — the soak's
+// coverage check.
+func (p NetPlan) Kinds() map[Kind]bool {
+	kinds := map[Kind]bool{}
+	for _, fs := range p {
+		for _, f := range fs {
+			kinds[f.Kind] = true
+		}
+	}
+	return kinds
+}
+
+// String renders the plan for supervisor logs, hosts in ascending order.
+func (p NetPlan) String() string {
+	if len(p) == 0 {
+		return "clean (no network faults)"
+	}
+	hosts := make([]string, 0, len(p))
+	for h := range p {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	var b strings.Builder
+	for _, h := range hosts {
+		if b.Len() > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString("host " + h + ":")
+		for i, f := range p[h] {
+			if i > 0 {
+				b.WriteString(" →")
+			}
+			b.WriteString(" " + f.String())
+		}
+	}
+	return b.String()
+}
+
+// SlowPull is the fixed SlowStream delay generated plans use: visible in
+// a trace, far below any stall deadline.
+const SlowPull = 50 * time.Millisecond
+
+// NewNetPlan derives a reproducible network chaos plan over a host pool:
+// each host independently draws its pull-fault sequence from randomness
+// seeded by (seed, host), and up to maxKills hosts additionally draw a
+// HostDown — never all of them, so failover (not rescue) is the path
+// under test unless the caller asks for total loss. The same seed always
+// yields the same schedule, host order independent: a failing chaos seed
+// in CI replays exactly locally.
+//
+// Every recoverable fault exercises a distinct puller obligation:
+// conndrop → retry without declaring the host dead, slowstream →
+// patience, partialpull → hold the torn chunk back and re-pull,
+// duprecords → deduplicate the replayed records by index. HostDown
+// exercises the failover machinery itself.
+func NewNetPlan(seed int64, hosts []string, maxKills int) NetPlan {
+	p := NetPlan{}
+	for _, h := range hosts {
+		r := rand.New(rand.NewSource(engine.DeriveSeed(seed, "netchaos", h)))
+		if fs := hostPullFaults(r); len(fs) > 0 {
+			p[h] = fs
+		}
+	}
+	if maxKills >= len(hosts) {
+		maxKills = len(hosts) - 1
+	}
+	if maxKills > 0 {
+		r := rand.New(rand.NewSource(engine.DeriveSeed(seed, "hostkill")))
+		perm := r.Perm(len(hosts))
+		kills := 1 + r.Intn(maxKills)
+		for _, hi := range perm[:kills] {
+			h := hosts[hi]
+			p[h] = insertByAfter(p[h], Fault{Kind: HostDown, After: r.Intn(5)})
+		}
+	}
+	return p
+}
+
+// hostPullFaults draws one host's recoverable pull-fault sequence,
+// ordered by ascending After.
+func hostPullFaults(r *rand.Rand) []Fault {
+	if r.Float64() < 0.35 {
+		return nil // this host's stream runs clean
+	}
+	n := 1 + r.Intn(3)
+	fs := make([]Fault, 0, n)
+	after := r.Intn(3)
+	for len(fs) < n {
+		var f Fault
+		switch r.Intn(4) {
+		case 0:
+			f = Fault{Kind: ConnDrop, After: after}
+		case 1:
+			f = Fault{Kind: SlowStream, After: after, For: SlowPull}
+		case 2:
+			f = Fault{Kind: PartialPull, After: after, Bytes: 1 + r.Intn(48)}
+		default:
+			f = Fault{Kind: DupRecords, After: after, Bytes: 1 + r.Intn(128)}
+		}
+		fs = append(fs, f)
+		after += 1 + r.Intn(3)
+	}
+	return fs
+}
+
+// insertByAfter inserts f into an After-ordered sequence, keeping it
+// ordered so NetInjector's sequential consumption reaches every fault.
+func insertByAfter(fs []Fault, f Fault) []Fault {
+	i := sort.Search(len(fs), func(i int) bool { return fs[i].After > f.After })
+	fs = append(fs, Fault{})
+	copy(fs[i+1:], fs[i:])
+	fs[i] = f
+	return fs
+}

@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNetInjectorOrdering pins the pull-counter semantics: each fault
+// fires on the pull whose 0-based sequence number reaches its After,
+// faults are consumed strictly in order, and pulls between boundaries
+// run clean.
+func TestNetInjectorOrdering(t *testing.T) {
+	ni := NewNetInjector([]Fault{
+		{Kind: ConnDrop, After: 0},
+		{Kind: PartialPull, After: 2, Bytes: 5},
+		{Kind: DupRecords, After: 2, Bytes: 16}, // same boundary: fires on the next pull
+		{Kind: HostDown, After: 5},
+	})
+	want := []struct {
+		kind Kind
+		ok   bool
+	}{
+		{ConnDrop, true},    // pull 0
+		{"", false},         // pull 1
+		{PartialPull, true}, // pull 2
+		{DupRecords, true},  // pull 3 (After=2 already passed)
+		{"", false},         // pull 4
+		{HostDown, true},    // pull 5
+		{"", false},         // pull 6: sequence exhausted
+		{"", false},         // pull 7
+	}
+	for i, w := range want {
+		f, ok := ni.Next()
+		if ok != w.ok || f.Kind != w.kind {
+			t.Fatalf("pull %d: got (%q, %v), want (%q, %v)", i, f.Kind, ok, w.kind, w.ok)
+		}
+	}
+}
+
+// TestNetInjectorNil: the nil injector (clean host) gates nothing and
+// never panics.
+func TestNetInjectorNil(t *testing.T) {
+	if ni := NewNetInjector(nil); ni != nil {
+		t.Fatal("empty sequence should build a nil injector")
+	}
+	var ni *NetInjector
+	for i := 0; i < 3; i++ {
+		if f, ok := ni.Next(); ok || !f.IsZero() {
+			t.Fatalf("nil injector fired %v", f)
+		}
+	}
+}
+
+// TestNetPlanDeterminism: the plan is a pure function of the seed — the
+// CI-replay property — and different seeds genuinely vary.
+func TestNetPlanDeterminism(t *testing.T) {
+	hosts := []string{"a", "b", "c"}
+	p1 := NewNetPlan(42, hosts, 1)
+	p2 := NewNetPlan(42, hosts, 1)
+	if p1.String() != p2.String() {
+		t.Fatalf("same seed, different plans:\n%s\n%s", p1, p2)
+	}
+	varied := false
+	for seed := int64(1); seed <= 10; seed++ {
+		if NewNetPlan(seed, hosts, 1).String() != p1.String() {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("ten seeds produced the identical plan; the generator is not drawing randomness")
+	}
+}
+
+// TestNetPlanKillBound: kills never cover the whole pool — the plan must
+// always leave at least one survivor for failover — and a maxKills of 0
+// draws no HostDown at all.
+func TestNetPlanKillBound(t *testing.T) {
+	hosts := []string{"a", "b", "c"}
+	for seed := int64(1); seed <= 50; seed++ {
+		p := NewNetPlan(seed, hosts, len(hosts)+5) // deliberately over-asking
+		killed := 0
+		for _, h := range hosts {
+			for _, f := range p.For(h) {
+				if f.Kind == HostDown {
+					killed++
+				}
+			}
+		}
+		if killed >= len(hosts) {
+			t.Fatalf("seed %d killed all %d hosts: %s", seed, killed, p)
+		}
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		if NewNetPlan(seed, hosts, 0).Kinds()[HostDown] {
+			t.Fatalf("seed %d drew a kill with maxKills=0", seed)
+		}
+	}
+}
+
+// TestNetPlanOrderingAndCoverage: every generated sequence is ordered by
+// ascending After (the NetInjector consumption contract), and across a
+// band of seeds the generator draws every network fault kind.
+func TestNetPlanOrderingAndCoverage(t *testing.T) {
+	hosts := []string{"a", "b", "c", "d"}
+	seen := map[Kind]bool{}
+	for seed := int64(1); seed <= 40; seed++ {
+		p := NewNetPlan(seed, hosts, 2)
+		for h, fs := range p {
+			for i := 1; i < len(fs); i++ {
+				if fs[i].After < fs[i-1].After {
+					t.Fatalf("seed %d host %s: sequence out of order: %s", seed, h, p)
+				}
+			}
+		}
+		for k := range p.Kinds() {
+			seen[k] = true
+		}
+	}
+	for _, k := range []Kind{ConnDrop, SlowStream, PartialPull, DupRecords, HostDown} {
+		if !seen[k] {
+			t.Fatalf("40 seeds never drew %s", k)
+		}
+	}
+}
+
+// TestNetPlanString covers the log rendering both empty and populated.
+func TestNetPlanString(t *testing.T) {
+	if got := (NetPlan)(nil).String(); got != "clean (no network faults)" {
+		t.Fatalf("nil plan renders %q", got)
+	}
+	p := NetPlan{
+		"b": {{Kind: ConnDrop, After: 1}},
+		"a": {{Kind: HostDown, After: 0}, {Kind: SlowStream, After: 2, For: SlowPull}},
+	}
+	want := "host a: hostdown:after=0 → slowstream:after=2,for=50ms; host b: conndrop:after=1"
+	if got := p.String(); got != want {
+		t.Fatalf("plan renders %q, want %q", got, want)
+	}
+}
+
+// TestParseNetKinds: the five network kinds round-trip through the
+// String/Parse serialization, and validation applies the documented
+// defaults.
+func TestParseNetKinds(t *testing.T) {
+	roundTrip := []Fault{
+		{Kind: ConnDrop, After: 3, Code: 1},
+		{Kind: SlowStream, After: 1, For: 250 * time.Millisecond, Code: 1},
+		{Kind: PartialPull, After: 2, Bytes: 7, Code: 1},
+		{Kind: DupRecords, After: 0, Bytes: 128, Code: 1},
+		{Kind: HostDown, After: 4, Code: 1},
+	}
+	for _, f := range roundTrip {
+		got, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", f.String(), err)
+		}
+		if got != f {
+			t.Fatalf("round trip %q: got %+v, want %+v", f.String(), got, f)
+		}
+	}
+	if _, err := Parse("slowstream:after=1"); err == nil {
+		t.Fatal("slowstream without for= must be rejected")
+	}
+	if f, err := Parse("partialpull:after=1"); err != nil || f.Bytes != 1 {
+		t.Fatalf("partialpull default bytes: (%+v, %v), want Bytes=1", f, err)
+	}
+	if f, err := Parse("duprecords:after=1"); err != nil || f.Bytes != 64 {
+		t.Fatalf("duprecords default bytes: (%+v, %v), want Bytes=64", f, err)
+	}
+}
