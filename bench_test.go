@@ -12,13 +12,17 @@ package sprout_test
 import (
 	"context"
 	"math/rand"
+	"strconv"
 	"testing"
 	"time"
 
 	"sprout"
+	"sprout/internal/cell"
 	"sprout/internal/engine"
 	"sprout/internal/harness"
+	"sprout/internal/network"
 	"sprout/internal/scenario"
+	"sprout/internal/sim"
 )
 
 // benchOpt keeps macro-bench runs short but past warmup. Workers: 0 runs
@@ -257,6 +261,67 @@ func BenchmarkStreamingMatrix(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(stats.Workers), "workers")
+}
+
+// cellBenchProc is a deterministic delivery process: one opportunity
+// every period, forever, so the tower stays saturated and every
+// opportunity serves a full MTU.
+type cellBenchProc struct {
+	period time.Duration
+	t      time.Duration
+}
+
+func (p *cellBenchProc) Next() (time.Duration, bool) {
+	p.t += p.period
+	return p.t, true
+}
+
+func (p *cellBenchProc) Reset(int64) { p.t = 0 }
+
+// benchmarkCellWorld drives one tower with n backlogged flows under
+// proportional fairness in a closed loop — every delivered packet
+// re-enters its own slot's queue — and measures whole 100 ms event-loop
+// windows. One op is one window: ~1000 opportunities apportioned over n
+// flows through the scheduler heap, so ns/op tracks the per-opportunity
+// scheduling cost as n grows. The steady state must stay at 0 allocs/op
+// at every n (the flat per-flow tables and reused rings never touch the
+// heap once sized); BENCH_10.json guards the n=1024 figure.
+func benchmarkCellWorld(b *testing.B, n int) {
+	loop := sim.New()
+	var tw *cell.Tower
+	tw = cell.NewTower(loop, cell.Config{
+		Process:          &cellBenchProc{period: 100 * time.Microsecond},
+		PropagationDelay: time.Millisecond,
+		Scheduler:        cell.NewPropFair(0),
+	}, func(p *network.Packet) { tw.Send(int(p.Flow), p) })
+	pkts := make([]network.Packet, n)
+	for i := 0; i < n; i++ {
+		slot := tw.Attach()
+		pkts[i] = network.Packet{Flow: uint32(slot), Size: network.MTU}
+		tw.Send(slot, &pkts[i])
+	}
+	end := 200 * time.Millisecond
+	loop.Run(end) // warm up: rings, heap and scheduler arrays reach steady size
+	start := tw.DeliveredBytes()
+	const window = 100 * time.Millisecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		end += window
+		loop.Run(end)
+	}
+	b.StopTimer()
+	delivered := tw.DeliveredBytes() - start
+	b.ReportMetric(float64(delivered)*8/1000/(float64(b.N)*window.Seconds()), "sim-kbps")
+	b.ReportMetric(float64(delivered)/float64(network.MTU)/float64(b.N), "pkts/op")
+}
+
+// BenchmarkCellWorld is the ISSUE-10 macro: the shared-cell hot path at
+// 16, 256 and 1024 concurrent flows.
+func BenchmarkCellWorld(b *testing.B) {
+	for _, n := range []int{16, 256, 1024} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) { benchmarkCellWorld(b, n) })
+	}
 }
 
 // BenchmarkCoreTick measures one inference update (evolve+observe), the

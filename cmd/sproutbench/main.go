@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"sprout/internal/cell"
 	"sprout/internal/core"
 	"sprout/internal/engine"
 	"sprout/internal/harness"
@@ -293,6 +294,8 @@ func runListSchemes() {
 		strings.Join(scenario.NetworkNames(), ", "))
 	fmt.Printf("streaming models (scenario \"process\"/\"feedback_process\" \"model\" field): %s\n",
 		strings.Join(scenario.ModelNames(), ", "))
+	fmt.Printf("cell schedulers (scenario \"cell\" \"scheduler\" field): %s\n",
+		strings.Join(cell.SchedulerNames(), ", "))
 }
 
 // runScenarioFile executes every spec in a JSON scenario file through the

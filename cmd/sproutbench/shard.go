@@ -491,11 +491,29 @@ func printScenarioResults(title string, results []scenario.Result) {
 		fmt.Printf("%-40s %12.0f %16s %6s %12.0f\n",
 			r.Spec.Label(), tputKbps, selfMs, util,
 			float64(r.Delay95)/float64(time.Millisecond))
+		if r.Spec.Cell != nil && len(r.Flows) > 0 {
+			// Cell worlds report per-user distributions: one quantile
+			// line over the attached users' throughput and delay tails.
+			tput := make([]float64, len(r.Flows))
+			delay := make([]float64, len(r.Flows))
+			for i, f := range r.Flows {
+				tput[i] = f.ThroughputBps / 1000
+				delay[i] = float64(f.Delay95) / float64(time.Millisecond)
+			}
+			tp := stats.Quantiles(tput, 0.5, 0.95, 0.99)
+			dp := stats.Quantiles(delay, 0.5, 0.95, 0.99)
+			fmt.Printf("    users %-4d tput p50/p95/p99 %.0f/%.0f/%.0f kbps   delay95 p50/p95/p99 %.0f/%.0f/%.0f ms\n",
+				len(r.Flows), tp[0], tp[1], tp[2], dp[0], dp[1], dp[2])
+		}
 		if len(r.Flows) > 1 {
-			for _, f := range r.Flows {
-				fmt.Printf("    flow %-3d %-12s %12.0f %29s %12.0f\n",
-					f.Flow, f.Scheme, f.ThroughputBps/1000, "",
-					float64(f.Delay95)/float64(time.Millisecond))
+			// Suppress the per-flow listing for crowded cells — the
+			// quantile line above already summarizes the population.
+			if r.Spec.Cell == nil || len(r.Flows) <= 8 {
+				for _, f := range r.Flows {
+					fmt.Printf("    flow %-3d %-12s %12.0f %29s %12.0f\n",
+						f.Flow, f.Scheme, f.ThroughputBps/1000, "",
+						float64(f.Delay95)/float64(time.Millisecond))
+				}
 			}
 			fmt.Printf("    Jain fairness %.3f\n", r.JainIndex)
 		}

@@ -114,6 +114,13 @@ type Accumulator struct {
 	index   map[uint32]int32
 	perFlow bool
 
+	// Per-flow measurement windows (cell churn: a flow that exists only
+	// over part of the run is measured over its own lifetime). Engaged by
+	// SetFlowWindow; otherwise every flow uses the run window and the
+	// historical arithmetic is untouched.
+	flowWindows      bool
+	flowFrom, flowTo []time.Duration
+
 	omniSegs []stats.Segment // scratch for the omniscient bound
 	finished bool
 
@@ -142,11 +149,19 @@ func (a *Accumulator) Start(from, to time.Duration, flows []uint32) {
 	a.finished = false
 	a.trackOps = false // re-arm per run via TrackOpportunities
 	a.flowIDs = append(a.flowIDs[:0], flows...)
+	a.flowWindows = false
 	a.perFlow = len(flows) > 1
 	if !a.perFlow {
 		a.flows = a.flows[:0]
 		return
 	}
+	a.materializeFlows()
+}
+
+// materializeFlows builds the per-flow streams and index for the tracked
+// ids.
+func (a *Accumulator) materializeFlows() {
+	flows := a.flowIDs
 	if cap(a.flows) < len(flows) {
 		a.flows = make([]flowStream, len(flows))
 	}
@@ -156,9 +171,45 @@ func (a *Accumulator) Start(from, to time.Duration, flows []uint32) {
 	}
 	clear(a.index)
 	for i, f := range flows {
-		a.flows[i].reset(from)
+		a.flows[i].reset(a.from)
 		a.index[f] = int32(i)
 	}
+}
+
+// SetFlowWindow measures tracked flow i over [from, to) ∩ the run window
+// instead of the full run — the lifetime of a churned cell flow. Call
+// after Start and before any Observe. The first call materializes
+// dedicated per-flow streams (a lone windowed flow no longer shares the
+// aggregate stream) and defaults every other flow to the run window.
+func (a *Accumulator) SetFlowWindow(i int, from, to time.Duration) {
+	if !a.flowWindows {
+		a.flowWindows = true
+		if !a.perFlow {
+			a.perFlow = true
+			a.materializeFlows()
+		}
+		n := len(a.flowIDs)
+		if cap(a.flowFrom) < n {
+			a.flowFrom = make([]time.Duration, n)
+			a.flowTo = make([]time.Duration, n)
+		}
+		a.flowFrom = a.flowFrom[:n]
+		a.flowTo = a.flowTo[:n]
+		for j := range a.flowFrom {
+			a.flowFrom[j], a.flowTo[j] = a.from, a.to
+		}
+	}
+	if from < a.from {
+		from = a.from
+	}
+	if to > a.to {
+		to = a.to
+	}
+	if to < from {
+		to = from
+	}
+	a.flowFrom[i], a.flowTo[i] = from, to
+	a.flows[i].reset(from)
 }
 
 // Observe folds one delivery in. Deliveries must arrive in DeliveredAt
@@ -168,7 +219,11 @@ func (a *Accumulator) Observe(d link.Delivery) {
 	a.agg.observe(d, a.from, a.to)
 	if a.perFlow {
 		if i, ok := a.index[d.Flow]; ok {
-			a.flows[i].observe(d, a.from, a.to)
+			from, to := a.from, a.to
+			if a.flowWindows {
+				from, to = a.flowFrom[i], a.flowTo[i]
+			}
+			a.flows[i].observe(d, from, to)
 		}
 	}
 }
@@ -224,7 +279,11 @@ func (a *Accumulator) seal() {
 	a.finished = true
 	a.agg.finish(a.to)
 	for i := range a.flows {
-		a.flows[i].finish(a.to)
+		to := a.to
+		if a.flowWindows {
+			to = a.flowTo[i]
+		}
+		a.flows[i].finish(to)
 	}
 	if a.trackOps && a.omniHave && a.to > a.omniCursor {
 		a.omniSegs = append(a.omniSegs, stats.Segment{
@@ -297,8 +356,12 @@ func (a *Accumulator) FlowCount() int { return len(a.flowIDs) }
 func (a *Accumulator) Flow(i int) (flow uint32, throughputBps float64, delay95 time.Duration) {
 	a.seal()
 	s := &a.agg
+	from, to := a.from, a.to
 	if a.perFlow {
 		s = &a.flows[i]
+		if a.flowWindows {
+			from, to = a.flowFrom[i], a.flowTo[i]
+		}
 	}
-	return a.flowIDs[i], s.throughputBps(a.from, a.to), s.delay(0.95)
+	return a.flowIDs[i], s.throughputBps(from, to), s.delay(0.95)
 }

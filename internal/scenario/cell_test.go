@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"time"
+)
+
+// cellSpec builds a streaming cell spec on the canonical Verizon LTE
+// model pair.
+func cellSpec(c *CellSpec, d, skip time.Duration, seed int64) Spec {
+	return Spec{
+		Cell:            c,
+		Process:         &ProcessSpec{Model: "Verizon-LTE-down"},
+		FeedbackProcess: &ProcessSpec{Model: "Verizon-LTE-up"},
+		Duration:        Duration(d),
+		Skip:            Duration(skip),
+		Seed:            seed,
+	}
+}
+
+// TestCellDegenerateMatchesDirect is the ISSUE's byte-identity property:
+// a one-cell, one-flow round-robin cell world is the dedicated link in
+// disguise — same reservation, timer and RNG consumption — so its Result
+// must equal the plain streaming spec's field for field.
+func TestCellDegenerateMatchesDirect(t *testing.T) {
+	for _, scheme := range []string{"sprout", "cubic"} {
+		direct := streamSpec(scheme, 6*time.Second, 2*time.Second, 7)
+		want, err := Run(direct, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell := cellSpec(&CellSpec{Groups: []CellGroup{{Scheme: scheme, Flows: 1}}},
+			6*time.Second, 2*time.Second, 7)
+		got, err := Run(cell, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Metrics != want.Metrics {
+			t.Errorf("%s: cell metrics %+v != direct %+v", scheme, got.Metrics, want.Metrics)
+		}
+		if got.Delay95 != want.Delay95 || got.JainIndex != want.JainIndex {
+			t.Errorf("%s: aggregates diverged: %v/%v vs %v/%v",
+				scheme, got.Delay95, got.JainIndex, want.Delay95, want.JainIndex)
+		}
+		if len(got.Flows) != len(want.Flows) {
+			t.Fatalf("%s: flow counts differ: %d vs %d", scheme, len(got.Flows), len(want.Flows))
+		}
+		for i := range got.Flows {
+			if got.Flows[i] != want.Flows[i] {
+				t.Errorf("%s: flow %d differs: %+v vs %+v", scheme, i, got.Flows[i], want.Flows[i])
+			}
+		}
+	}
+}
+
+// cellGridSpecs is the determinism grid: multi-flow round-robin and
+// proportional-fair cells, churn, and a two-cell handover layout.
+func cellGridSpecs(t *testing.T) []Spec {
+	t.Helper()
+	specs, err := Parse(strings.NewReader(`{
+	  "defaults": {"process": {"model": "Verizon-LTE-down"},
+	               "feedback_process": {"model": "Verizon-LTE-up"},
+	               "duration": "4s", "skip": "1s", "seed": 7},
+	  "scenarios": [
+	    {"name": "rr 3-up", "cell": {"groups": [{"scheme": "sprout", "flows": 3}]}},
+	    {"name": "pf mixed", "cell": {"scheduler": "proportional-fair", "groups": [
+	      {"scheme": "sprout", "flows": 2}, {"scheme": "cubic", "flows": 1}]}},
+	    {"name": "pf churn", "cell": {"scheduler": "proportional-fair",
+	      "groups": [{"scheme": "sprout", "flows": 2}],
+	      "churn": {"arrival_rate": 0.8, "mean_lifetime": "2s"}}},
+	    {"name": "rr handover", "cell": {"cells": 2, "handover_rate": 1.0, "groups": [
+	      {"scheme": "sprout", "flows": 2, "cell": 0},
+	      {"scheme": "sprout", "flows": 1, "cell": 1, "base_flow": 100}]}}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+// cellGridHash is the pinned SHA-256 of the cell grid's merged JSONL
+// stream. Pinning the bytes (not just cross-decomposition equality) means
+// any future change to cell semantics is a conscious decision that updates
+// this constant.
+const cellGridHash = "c8af43ee6147ca8eef5b16807a049d8a0174b19cf2a6ece47785fbe46cb4a745"
+
+// TestCellShardedDeterminism pins the cell grid's merged stream across
+// workers {1,4} × shards {1,3} and against the pinned golden hash.
+func TestCellShardedDeterminism(t *testing.T) {
+	specs := cellGridSpecs(t)
+	direct, _, err := RunAll(context.Background(), specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mergedBytes(t, direct)
+	sum := sha256.Sum256(want)
+	if got := hex.EncodeToString(sum[:]); got != cellGridHash {
+		t.Errorf("cell grid hash %s, want %s", got, cellGridHash)
+	}
+	for _, shards := range []int{1, 3} {
+		for _, workers := range []int{1, 4} {
+			results, _, err := RunSharded(context.Background(), specs, ShardedOptions{
+				Shards: shards, Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+			}
+			if got := mergedBytes(t, results); !bytes.Equal(got, want) {
+				t.Errorf("shards=%d workers=%d: merged cell stream differs from direct run", shards, workers)
+			}
+		}
+	}
+}
+
+// TestCellWorldReuse: a warm pooled world re-runs a churning cell spec
+// with zero allocations and matches a fresh world bit-for-bit.
+func TestCellWorldReuse(t *testing.T) {
+	spec := cellSpec(&CellSpec{
+		Scheduler: "proportional-fair",
+		Groups:    []CellGroup{{Scheme: "sprout", Flows: 2}},
+		Churn:     &ChurnSpec{ArrivalRate: 0.5, MeanLifetime: Duration(time.Second)},
+	}, 2*time.Second, 500*time.Millisecond, 3)
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorld()
+	run := func() Result {
+		res, err := runNormalized(norm, nil, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	run() // compile processes, grow arenas, memoize endpoints
+	warm := run()
+	if avg := testing.AllocsPerRun(5, func() { run() }); avg > 0 {
+		t.Errorf("warm cell re-run allocates %.1f times per run, want 0", avg)
+	}
+	fresh, err := runNormalized(norm, nil, newWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Metrics != fresh.Metrics || warm.Delay95 != fresh.Delay95 || warm.JainIndex != fresh.JainIndex {
+		t.Errorf("reused cell world diverged:\nwarm  %+v\nfresh %+v", warm.Metrics, fresh.Metrics)
+	}
+	if len(warm.Flows) != len(fresh.Flows) {
+		t.Fatalf("flow counts differ: %d vs %d", len(warm.Flows), len(fresh.Flows))
+	}
+	for i := range warm.Flows {
+		if warm.Flows[i] != fresh.Flows[i] {
+			t.Errorf("flow %d differs: %+v vs %+v", i, warm.Flows[i], fresh.Flows[i])
+		}
+	}
+}
+
+// TestCellSpecErrors walks the cell grammar's validation surface: every
+// malformed spec dies in Normalize with a one-line error naming the bad
+// field.
+func TestCellSpecErrors(t *testing.T) {
+	base := func() Spec {
+		return cellSpec(&CellSpec{Groups: []CellGroup{{Scheme: "sprout", Flows: 2}}},
+			2*time.Second, time.Second, 1)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"zero flows", func(s *Spec) { s.Cell.Groups[0].Flows = 0 }, "must be positive"},
+		{"negative flows", func(s *Spec) { s.Cell.Groups[0].Flows = -3 }, "must be positive"},
+		{"no groups", func(s *Spec) { s.Cell.Groups = nil }, "at least one flow group"},
+		{"unknown scheme", func(s *Spec) { s.Cell.Groups[0].Scheme = "bbr" }, "unknown scheme"},
+		{"unknown scheduler", func(s *Spec) { s.Cell.Scheduler = "edf" }, "unknown cell scheduler"},
+		{"duplicate flow ids", func(s *Spec) {
+			s.Cell.Groups = []CellGroup{
+				{Scheme: "sprout", Flows: 2, BaseFlow: 50},
+				{Scheme: "cubic", Flows: 2, BaseFlow: 51},
+			}
+		}, "overlap"},
+		{"negative churn rate", func(s *Spec) {
+			s.Cell.Churn = &ChurnSpec{ArrivalRate: -1, MeanLifetime: Duration(time.Second)}
+		}, "negative churn arrival_rate"},
+		{"churn without lifetime", func(s *Spec) {
+			s.Cell.Churn = &ChurnSpec{ArrivalRate: 1}
+		}, "mean_lifetime"},
+		{"unknown churn scheme", func(s *Spec) {
+			s.Cell.Churn = &ChurnSpec{ArrivalRate: 1, MeanLifetime: Duration(time.Second), Scheme: "bbr"}
+		}, "unknown scheme"},
+		{"negative handover rate", func(s *Spec) { s.Cell.HandoverRate = -0.5 }, "negative handover_rate"},
+		{"handover on one cell", func(s *Spec) { s.Cell.HandoverRate = 1 }, "at least 2 cells"},
+		{"cell index out of range", func(s *Spec) { s.Cell.Groups[0].Cell = 1 }, "outside [0, 1)"},
+		{"pf gain without pf", func(s *Spec) { s.Cell.PFGain = 0.5 }, "pf_gain only applies"},
+		{"pf gain out of range", func(s *Spec) {
+			s.Cell.Scheduler = "proportional-fair"
+			s.Cell.PFGain = 1.5
+		}, "outside (0, 1)"},
+		{"cell with top-level scheme", func(s *Spec) { s.Scheme = "sprout" }, "top-level scheme"},
+		{"cell with tunnel", func(s *Spec) { s.Tunnel = true }, "mutually exclusive"},
+		{"cell without process", func(s *Spec) { s.Process, s.FeedbackProcess = nil, nil; s.Link = "Verizon LTE" }, "declare a process"},
+		{"cell with codel", func(s *Spec) { on := true; s.CoDel = &on }, "CoDel on a cell"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mut(&s)
+			_, err := s.Normalize()
+			if err == nil {
+				t.Fatalf("Normalize accepted %+v", s.Cell)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// The happy path still normalizes: defaults resolved, label derived.
+	norm, err := base().Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Cell.Scheduler != "round-robin" || norm.Cell.Cells != 1 {
+		t.Errorf("defaults not resolved: %+v", norm.Cell)
+	}
+	if label := norm.Label(); !strings.Contains(label, "cell[round-robin]") {
+		t.Errorf("label %q does not describe the cell", label)
+	}
+}

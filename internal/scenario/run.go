@@ -89,6 +89,9 @@ func runNormalized(norm Spec, traces *engine.Cache, w *world) (Result, error) {
 		}
 		norm.DataTrace, norm.FeedbackTrace = data, feedback
 	}
+	if norm.Cell != nil {
+		return runCell(norm, w)
+	}
 	if norm.Tunnel {
 		return runTunnel(norm, w)
 	}

@@ -94,6 +94,11 @@ type Spec struct {
 	// Tunnel carries the client flows through SproutTunnel (§4.3/§5.7)
 	// instead of placing them directly on the link.
 	Tunnel bool `json:"tunnel,omitempty"`
+	// Cell shares ONE delivery process per cell across many flows through
+	// an opportunity scheduler (demand-coupled cell world), instead of a
+	// private link per flow. Mutually exclusive with Scheme/Flows/Groups
+	// and Tunnel; requires Process.
+	Cell *CellSpec `json:"cell,omitempty"`
 
 	// Duration and Skip default to 150 s / 30 s; PropDelay to 20 ms.
 	Duration  Duration `json:"duration,omitempty"`
@@ -138,15 +143,20 @@ func (s Spec) Label() string {
 	if s.Name != "" {
 		return s.Name
 	}
-	var schemes []string
-	for _, g := range s.groups() {
-		name := g.Scheme
-		if g.Count > 1 {
-			name = fmt.Sprintf("%dx %s", g.Count, name)
+	var label string
+	if s.Cell != nil {
+		label = s.Cell.label()
+	} else {
+		var schemes []string
+		for _, g := range s.groups() {
+			name := g.Scheme
+			if g.Count > 1 {
+				name = fmt.Sprintf("%dx %s", g.Count, name)
+			}
+			schemes = append(schemes, name)
 		}
-		schemes = append(schemes, name)
+		label = strings.Join(schemes, " + ")
 	}
-	label := strings.Join(schemes, " + ")
 	if s.Tunnel {
 		label += " via tunnel"
 	}
@@ -181,7 +191,14 @@ func (s Spec) groups() []FlowGroup {
 // spec is what Run executes and what Result reports.
 func (s Spec) Normalize() (Spec, error) {
 	out := s
-	out.Groups = append([]FlowGroup(nil), s.groups()...)
+	if out.Cell != nil {
+		if s.Scheme != "" || s.Flows != 0 || len(s.Groups) > 0 {
+			return Spec{}, fmt.Errorf("scenario: cell specs carry their own groups; top-level scheme/flows/groups must be empty")
+		}
+		out.Groups = nil
+	} else {
+		out.Groups = append([]FlowGroup(nil), s.groups()...)
+	}
 	out.Scheme, out.Flows = "", 0
 
 	if out.Duration == 0 {
@@ -213,6 +230,12 @@ func (s Spec) Normalize() (Spec, error) {
 		// Running an unexpanded sweep would silently take only the
 		// zero-value default; the caller forgot to expand via Sweep.
 		return Spec{}, fmt.Errorf("scenario: confidences sweep must be expanded with Sweep before running")
+	}
+
+	if out.Cell != nil {
+		if err := out.normalizeCell(); err != nil {
+			return Spec{}, err
+		}
 	}
 
 	// Resolve schemes and flow ids. A lone auto-placed group keeps its
@@ -367,8 +390,13 @@ func (s Spec) Sweep() ([]Spec, error) {
 
 // merged returns s with zero-valued fields filled from the file defaults.
 func (s Spec) merged(def Spec) Spec {
-	if s.Scheme == "" && len(s.Groups) == 0 {
-		s.Scheme, s.Flows, s.Groups = def.Scheme, def.Flows, def.Groups
+	if s.Cell == nil && s.Scheme == "" && len(s.Groups) == 0 {
+		// A spec with no topology of its own inherits the defaults' —
+		// a cell layout or the flow groups, whichever the defaults carry.
+		s.Cell = def.Cell
+		if s.Cell == nil {
+			s.Scheme, s.Flows, s.Groups = def.Scheme, def.Flows, def.Groups
+		}
 	}
 	if s.Process == nil && s.Link == "" && def.Process != nil {
 		// A spec that names its own link keeps it; otherwise a defaults

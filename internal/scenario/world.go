@@ -64,6 +64,10 @@ type world struct {
 	procMemo  map[*ProcessSpec]trace.DeliveryProcess
 	observeOp func(time.Duration) // standing acc.ObserveOpportunity ref
 
+	// cellst is the cell-world half of the pooled state (towers, uplinks,
+	// schedulers, flow tables), built lazily by the first cell run.
+	cellst *cellState
+
 	// flowArena amortizes Result.Flows allocations: each result takes a
 	// fresh sub-slice (results outlive the world's runs, so slices are
 	// never reused); exhausted blocks are abandoned to their results.

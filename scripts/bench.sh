@@ -2,25 +2,27 @@
 # bench.sh — run the perf-tracking benchmarks and emit BENCH_<PR>.json.
 #
 # Usage:
-#   scripts/bench.sh              # writes BENCH_7.json in the repo root
+#   scripts/bench.sh              # writes BENCH_10.json in the repo root
 #   scripts/bench.sh out.json     # custom output path
 #   BENCHTIME=200ms scripts/bench.sh   # quick smoke (CI uses this)
 #
 # The JSON records ns/op and allocs/op for the tracked hot paths — the
 # Bayesian filter tick, the cautious forecast, the fused §5.5 confidence
-# sweep and the batched multi-flow forecast (both new in PR 6), the event
-# loop (fresh-timer and reused-timer patterns) — plus two
-# macro-benchmarks: the reduced scheme×link matrix on materialized
-# traces, the same grid driven by streaming delivery processes, and — new
-# in PR 7 — the grid decomposed over two in-process shards with JSONL
-# streaming and index-ordered merge. The "baseline" block holds the PR-6
+# sweep and the batched multi-flow forecast, the event loop (fresh-timer
+# and reused-timer patterns) — plus the macro-benchmarks: the reduced
+# scheme×link matrix on materialized traces, the same grid driven by
+# streaming delivery processes, the grid decomposed over two in-process
+# shards, and — new in PR 10 — the shared-cell world (one tower's
+# delivery process apportioned over 16/256/1024 backlogged flows by the
+# proportional-fair scheduler). The "baseline" block holds the PR-7
 # recorded numbers those were measured against, so the perf trajectory
 # stays auditable across PRs.
 #
-# Four allocs/op figures are guarded: the matrix, streaming and sharded
+# Five allocs/op figures are guarded: the matrix, streaming and sharded
 # macros at their recorded values (world reuse, the pull path and the
-# shard codec must stay allocation-flat), and the cautious forecast at
-# zero (the fused evolve→CDF pass must never touch the heap). A
+# shard codec must stay allocation-flat), the cautious forecast at zero,
+# and the 1024-flow cell world at zero (the flat per-flow tables, reused
+# rings and scheduler heap must never touch the heap in steady state). A
 # regression of more than 20% over a recorded value (any alloc at all,
 # for a recorded zero) fails this script — CI's bench-smoke step turns
 # red instead of silently eroding the wins.
@@ -28,7 +30,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_7.json}
+OUT=${1:-BENCH_10.json}
 BENCHTIME=${BENCHTIME:-1s}
 MATRIX_BENCHTIME=${MATRIX_BENCHTIME:-1x}
 # allocs/op recorded on the PR-5 dev machine (deterministic at
@@ -52,8 +54,8 @@ go test -run '^$' -bench 'BenchmarkCoreTick$|BenchmarkCoreForecast$|BenchmarkCor
 go test -run '^$' -bench 'BenchmarkLoopThroughput$|BenchmarkLoopTimerReuse$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/sim/ | tee -a "$TMP" >&2
 
-echo "bench: macro matrix + streaming + sharded matrix (benchtime $MATRIX_BENCHTIME)..." >&2
-go test -run '^$' -bench 'BenchmarkMatrixParallel$|BenchmarkStreamingMatrix$|BenchmarkShardedMatrix$' \
+echo "bench: macro matrix + streaming + sharded matrix + cell world (benchtime $MATRIX_BENCHTIME)..." >&2
+go test -run '^$' -bench 'BenchmarkMatrixParallel$|BenchmarkStreamingMatrix$|BenchmarkShardedMatrix$|BenchmarkCellWorld$' \
     -benchmem -benchtime "$MATRIX_BENCHTIME" . | tee -a "$TMP" >&2
 
 awk -v out="$OUT" -v mguard="$MATRIX_ALLOCS_RECORDED" -v sguard="$STREAMING_ALLOCS_RECORDED" -v shguard="$SHARDED_ALLOCS_RECORDED" '
@@ -68,24 +70,27 @@ awk -v out="$OUT" -v mguard="$MATRIX_ALLOCS_RECORDED" -v sguard="$STREAMING_ALLO
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 7,\n"
-    printf "  \"description\": \"sharded engine: deterministic idx%%n job partitioning, per-shard JSONL streams with index-ordered byte-identical merge, checkpoint/resume, multi-process fan-out and the -ab p50/p95/p99 harness\",\n"
+    printf "  \"pr\": 10,\n"
+    printf "  \"description\": \"demand-coupled cell world: one tower delivery process apportioned over N flows by pluggable opportunity schedulers (round-robin, proportional-fair index heap), Poisson churn and handover on a precomputed deterministic schedule, batched per-tick forecasts, flat SoA flow state with zero steady-state allocations\",\n"
     printf "  \"baseline\": {\n"
-    printf "    \"comment\": \"PR-6 recorded numbers (BENCH_6.json) on the PR-6/PR-7 dev machine (1 core: BenchmarkShardedMatrix is at parity with BenchmarkMatrixParallel here; the >=1.5x clause applies on >=4-core hosts where shards spread); no sharded benchmark existed before PR 7\",\n"
-    printf "    \"BenchmarkCoreTick\": {\"ns_per_op\": 12991, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkCoreForecast\": {\"ns_per_op\": 63947, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkCoreForecastFast\": {\"ns_per_op\": 57221, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkForecastSweep\": {\"ns_per_op\": 101809, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkForecastBatch\": {\"ns_per_op\": 1116156, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkLoopThroughput\": {\"ns_per_op\": 12.62, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkLoopTimerReuse\": {\"ns_per_op\": 14.84, \"allocs_per_op\": 0},\n"
-    printf "    \"BenchmarkMatrixParallel\": {\"ns_per_op\": 991665312, \"allocs_per_op\": 3530},\n"
-    printf "    \"BenchmarkStreamingMatrix\": {\"ns_per_op\": 537455743, \"allocs_per_op\": 1585}\n"
+    printf "    \"comment\": \"PR-7 recorded numbers (BENCH_7.json) on the shared dev machine; no cell-world benchmark existed before PR 10, so BenchmarkCellWorld records its own first baseline here\",\n"
+    printf "    \"BenchmarkCoreTick\": {\"ns_per_op\": 13116, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkCoreForecast\": {\"ns_per_op\": 67778, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkCoreForecastFast\": {\"ns_per_op\": 61565, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkForecastSweep\": {\"ns_per_op\": 107364, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkForecastBatch\": {\"ns_per_op\": 1222912, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkLoopThroughput\": {\"ns_per_op\": 12.43, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkLoopTimerReuse\": {\"ns_per_op\": 14.64, \"allocs_per_op\": 0},\n"
+    printf "    \"BenchmarkMatrixParallel\": {\"ns_per_op\": 947783466, \"allocs_per_op\": 3526},\n"
+    printf "    \"BenchmarkStreamingMatrix\": {\"ns_per_op\": 506228986, \"allocs_per_op\": 1586},\n"
+    printf "    \"BenchmarkShardedMatrix\": {\"ns_per_op\": 1052737282, \"allocs_per_op\": 2962}\n"
     printf "  },\n"
     printf "  \"guard\": {\n"
-    printf "    \"comment\": \"bench-smoke fails if a guarded allocs/op regresses >20%% over its recorded value; the forecast hot path is pinned at zero\",\n"
+    printf "    \"comment\": \"bench-smoke fails if a guarded allocs/op regresses >20%% over its recorded value; the forecast hot path and the 1024-flow cell steady state are pinned at zero\",\n"
     printf "    \"BenchmarkCoreForecast_allocs_per_op_recorded\": 0,\n"
     printf "    \"BenchmarkCoreForecast_allocs_per_op_max\": 0,\n"
+    printf "    \"BenchmarkCellWorld/1024_allocs_per_op_recorded\": 0,\n"
+    printf "    \"BenchmarkCellWorld/1024_allocs_per_op_max\": 0,\n"
     printf "    \"BenchmarkMatrixParallel_allocs_per_op_recorded\": %d,\n", mguard
     printf "    \"BenchmarkMatrixParallel_allocs_per_op_max\": %d,\n", int(mguard * 1.2)
     printf "    \"BenchmarkStreamingMatrix_allocs_per_op_recorded\": %d,\n", sguard
@@ -115,7 +120,7 @@ END {
 echo "bench: wrote $OUT" >&2
 cat "$OUT"
 
-# Alloc-regression gates on the experiment layer: both macro benchmarks
+# Alloc-regression gates on the experiment layer: the macro benchmarks
 # are deterministic in allocs/op, so a >20% excursion is a real
 # regression, not noise.
 gate() {
@@ -137,6 +142,7 @@ gate() {
     echo "bench: $bench allocs/op $measured within guard $limit" >&2
 }
 gate BenchmarkCoreForecast 0
+gate 'BenchmarkCellWorld/1024' 0
 gate BenchmarkMatrixParallel "$MATRIX_ALLOCS_RECORDED"
 gate BenchmarkStreamingMatrix "$STREAMING_ALLOCS_RECORDED"
 gate BenchmarkShardedMatrix "$SHARDED_ALLOCS_RECORDED"
